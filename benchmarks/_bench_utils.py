@@ -1,0 +1,32 @@
+"""Helpers shared by the benchmark files (kept out of conftest so bench
+modules can import them unambiguously)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+SEED = 20070625
+
+#: Per-system volume scales (fractions of the paper's message counts).
+BENCH_SCALES = {
+    "bgl": 1e-2,          # 4.7 M messages -> ~50 k
+    "thunderbird": 1e-3,  # keeps VAPI the top raw category
+    "redstorm": 1e-3,     # keeps BUS_PAR the top raw category
+    "spirit": 1e-4,
+    "liberty": 1e-4,
+}
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_scale(system: str) -> float:
+    return BENCH_SCALES[system] * float(
+        os.environ.get("REPRO_BENCH_SCALE", "1")
+    )
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a regenerated table/figure under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / name).write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,64 @@
+"""Bench F4: regenerate Figure 4 (Liberty filtered alerts over time).
+
+Shape claims: the PBS_CHK/PBS_BFD rows form dense horizontal clusters
+confined to one quarter (the PBS bug, "not evidence of poor filtering;
+they are actually instances of individual failures"), the two PBS tags
+are correlated with each other, and filtering preserved roughly the
+paper's per-category filtered counts.
+"""
+
+import pytest
+
+from repro.analysis.correlation import tag_correlation
+from repro.reporting.figures import figure4
+
+from _bench_utils import write_artifact
+
+
+def test_figure4_liberty_timeline(benchmark, liberty_full_alerts):
+    filtered = liberty_full_alerts.filtered_alerts
+    text = benchmark(figure4, filtered)
+    write_artifact("figure4.txt", text)
+
+    scenario = liberty_full_alerts.generated.scenario
+    span = scenario.end_epoch - scenario.start_epoch
+
+    # The PBS bug cluster sits in the final quarter.
+    for category in ("PBS_CHK", "PBS_BFD"):
+        times = [a.timestamp for a in filtered if a.category == category]
+        assert times, category
+        fractions = [(t - scenario.start_epoch) / span for t in times]
+        assert min(fractions) >= 0.70
+        assert max(fractions) <= 1.01
+
+    # "These two tags are a particularly outstanding example of correlated
+    # alerts relegated to different categories."
+    corr = tag_correlation(
+        liberty_full_alerts.raw_alerts, "PBS_CHK", "PBS_BFD", window=600.0
+    )
+    assert corr.is_correlated
+
+    # Filtered counts per category near the paper's Figure 4 population.
+    counts = liberty_full_alerts.category_counts()
+    assert counts["PBS_CHK"][1] == pytest.approx(920, rel=0.15)
+    assert counts["PBS_BFD"][1] == pytest.approx(94, rel=0.25)
+    assert counts["GM_PAR"][1] == pytest.approx(19, abs=6)
+
+
+def test_figure4_pbs_raw_counts(benchmark, liberty_full_alerts):
+    """Section 3.3.1's numbers: 2231 task_check alerts, <= 74 per job."""
+    pbs_raw = [
+        a for a in liberty_full_alerts.raw_alerts if a.category == "PBS_CHK"
+    ]
+    assert len(pbs_raw) == pytest.approx(2231, rel=0.02)
+
+    from repro.core.tupling import tuple_alerts
+    from repro.core.filtering import sorted_by_time
+
+    sizes = benchmark(
+        lambda: [
+            t.size
+            for t in tuple_alerts(sorted_by_time(pbs_raw), window=300.0)
+        ]
+    )
+    assert max(sizes) <= 74 * 2  # tuples may merge two adjacent failures

@@ -1,0 +1,25 @@
+"""Bench T1: regenerate Table 1 (system characteristics).
+
+Table 1 is static metadata; the bench measures the render and pins the
+rows the paper prints.
+"""
+
+from repro.reporting.tables import table1
+
+from _bench_utils import write_artifact
+
+
+def test_table1(benchmark):
+    text = benchmark(table1)
+    write_artifact("table1.txt", text)
+
+    # The five systems in the paper's order, with their headline specs.
+    lines = text.splitlines()
+    order = [line.split("  ")[0].strip() for line in lines[4:]]
+    assert order == [
+        "Blue Gene/L", "Thunderbird", "Red Storm", "Spirit (ICC2)",
+        "Liberty",
+    ]
+    assert "131,072" in text   # BG/L processors
+    assert "Infiniband" in text
+    assert "GigEthernet" in text

@@ -1,0 +1,49 @@
+"""Bench T3: regenerate Table 3 (alert type distribution raw vs filtered).
+
+Shape claims: Hardware dominates the raw alerts (98.04% in the paper —
+the Spirit disk storms), but after filtering Software dominates (64.01%)
+— "filtering dramatically changes the distribution of alert types."
+
+The raw margin is a volume property (checked on the proportional run);
+the filtered margin is an incident property (checked on the
+incident-faithful run).  The rendered artifact uses the proportional run,
+matching the paper's full-scale presentation.
+"""
+
+from repro.core.tagging import count_by_type
+from repro.reporting.tables import table3
+
+from _bench_utils import write_artifact
+
+
+def _totals(results, which):
+    totals = {"H": 0, "S": 0, "I": 0}
+    for result in results.values():
+        alerts = getattr(result, which)
+        for code, count in count_by_type(alerts).items():
+            totals[code] += count
+    return totals
+
+
+def test_table3_raw_margin(benchmark, proportional_results):
+    text = benchmark(table3, proportional_results)
+    write_artifact("table3_proportional.txt", text)
+
+    raw = _totals(proportional_results, "raw_alerts")
+    raw_total = sum(raw.values())
+    # Paper: Hardware 98.04% of raw alerts.
+    assert raw["H"] / raw_total > 0.9
+    assert raw["S"] / raw_total < 0.05
+    assert raw["I"] / raw_total < 0.05
+
+
+def test_table3_filtered_margin(benchmark, results):
+    write_artifact("table3.txt", table3(results))
+    filtered = benchmark(_totals, results, "filtered_alerts")
+    filtered_total = sum(filtered.values())
+    # Paper: Software 64.01%, Hardware 18.78%, Indeterminate 17.21%.
+    assert filtered["S"] / filtered_total > 0.5
+    assert filtered["S"] > filtered["H"]
+    assert filtered["S"] > filtered["I"]
+    assert 0.05 < filtered["H"] / filtered_total < 0.4
+    assert 0.05 < filtered["I"] / filtered_total < 0.4

@@ -1,0 +1,61 @@
+"""Bench T5: regenerate Table 5 (BG/L severity vs expert alerts).
+
+Shape claims: all expert alerts sit in FATAL/FAILURE (99.98% / 0.02% in
+the paper); INFO dominates messages; tagging FATAL+FAILURE as alerts
+yields 0% false negatives but a ~59% false-positive rate (paper: 59.34%).
+"""
+
+import pytest
+
+from repro.analysis.severity_eval import score_severity_detector
+from repro.core.rules import get_ruleset
+from repro.core.tagging import Tagger
+from repro.reporting.tables import table5
+from repro.simulation.generator import generate_log
+
+from _bench_utils import SEED, bench_scale, write_artifact
+
+
+def test_table5_severity_crosstab(benchmark, bgl_result):
+    text = benchmark(table5, bgl_result)
+    write_artifact("table5.txt", text)
+
+    rows = {
+        label: (messages, alerts)
+        for label, messages, _, alerts, _ in bgl_result.severity_tab.rows(
+            ["FATAL", "FAILURE", "SEVERE", "ERROR", "WARNING", "INFO"]
+        )
+    }
+    # Alerts live exclusively in FATAL/FAILURE.
+    assert rows["SEVERE"][1] == 0
+    assert rows["ERROR"][1] == 0
+    assert rows["WARNING"][1] == 0
+    assert rows["INFO"][1] == 0
+    assert rows["FATAL"][1] > 0
+    # FATAL alerts dwarf FAILURE alerts (paper: 348,398 vs 62).
+    assert rows["FATAL"][1] > 20 * max(rows["FAILURE"][1], 1)
+    # INFO dominates the message mix (paper: 78.68%).
+    total_messages = sum(m for m, _ in rows.values())
+    assert rows["INFO"][0] / total_messages > 0.5
+
+
+def test_table5_severity_detector_error_rates(benchmark):
+    def run():
+        gen = generate_log(
+            "bgl", scale=bench_scale("bgl"), seed=SEED, corruption=0.0,
+        )
+        return score_severity_detector(
+            gen.records, Tagger(get_ruleset("bgl"))
+        )
+
+    score = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert score.false_negative_rate == 0.0
+    assert score.false_positive_rate == pytest.approx(0.5934, abs=0.06)
+    write_artifact(
+        "table5_detector.txt",
+        "BG/L severity-based detector (FATAL/FAILURE => alert)\n"
+        f"false positive rate: {score.false_positive_rate:.4f} "
+        "(paper: 0.5934)\n"
+        f"false negative rate: {score.false_negative_rate:.4f} "
+        "(paper: 0.0)\n",
+    )

@@ -1,0 +1,42 @@
+"""Bench T6: regenerate Table 6 (Red Storm syslog severity distribution).
+
+Shape claims: CRIT is almost entirely the BUS_PAR disk-failure storm
+(98.69% of alerts in the paper); alerts also hide in ERR/INFO while
+NOTICE/DEBUG carry none — "syslog severity is of dubious value as a
+failure indicator."
+"""
+
+from repro.reporting.tables import table6
+
+from _bench_utils import write_artifact
+
+SYSLOG_ORDER = ["EMERG", "ALERT", "CRIT", "ERR", "WARNING", "NOTICE",
+                "INFO", "DEBUG"]
+
+
+def test_table6_severity_distribution(benchmark, proportional_results):
+    redstorm = proportional_results["redstorm"]
+    text = benchmark(table6, redstorm)
+    write_artifact("table6.txt", text)
+
+    rows = {
+        label: (messages, alerts)
+        for label, messages, _, alerts, _ in
+        redstorm.severity_tab.rows(SYSLOG_ORDER)
+    }
+
+    total_alerts = sum(a for _, a in rows.values())
+    # CRIT alerts dominate the severity-bearing alert population.
+    assert rows["CRIT"][1] / total_alerts > 0.9
+    # ...and nearly all CRIT messages are alerts (the disk storm).
+    assert rows["CRIT"][1] / rows["CRIT"][0] > 0.9
+
+    # Alerts appear at ERR and INFO as well: severity does not rank them.
+    assert rows["ERR"][1] > 0
+    assert rows["INFO"][1] > 0
+    assert rows["NOTICE"][1] == 0
+    assert rows["DEBUG"][1] == 0
+
+    # INFO dominates raw message volume (paper: 61.63%).
+    total_messages = sum(m for m, _ in rows.values())
+    assert rows["INFO"][0] / total_messages > 0.4

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Alert triage on a raw on-disk log: the system-administrator workflow.
+
+This example exercises the library the way a downstream operations team
+would, starting from a log *file* rather than the generator:
+
+1. write a synthetic Spirit log to disk in native syslog format;
+2. read it back with the tolerant streaming parser (corrupted lines
+   survive as flagged records — Section 3.2.1's reality);
+3. tag alerts with the Spirit expert rules and filter them;
+4. rank the surviving incidents for a human;
+5. learn per-category thresholds and cross-category alias groups — the
+   two filter improvements the paper recommends in Sections 4 and 5.
+
+Usage::
+
+    python examples/alert_triage.py [scale] [workdir]
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import pipeline
+from repro.core.adaptive_filter import suggest_thresholds
+from repro.core.correlated_filter import learn_correlated_groups
+from repro.core.filtering import sorted_by_time
+from repro.logio.reader import read_log
+from repro.logio.writer import write_log
+from repro.simulation.generator import generate_log
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1e-4
+    workdir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path(
+        tempfile.mkdtemp(prefix="repro-triage-")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    log_path = workdir / "spirit.log"
+
+    print(f"Writing a synthetic Spirit log to {log_path} ...")
+    generated = generate_log("spirit", scale=scale, seed=2007)
+    lines = write_log(generated.records, log_path, "spirit")
+    print(f"  {lines:,} lines, {log_path.stat().st_size:,} bytes")
+
+    print("Reading it back and running the triage pipeline ...")
+    year = int(generated.scenario.start_date.split("-")[0])
+    result = pipeline.run_stream(
+        read_log(log_path, "spirit", year=year), "spirit"
+    )
+    print(f"  {result.corrupted_messages:,} lines arrived corrupted and "
+          "were parsed tolerantly")
+    print()
+    print(result.summary())
+
+    print()
+    print("Top open incidents (first alert per filtered group):")
+    for alert in sorted(
+        result.filtered_alerts,
+        key=lambda a: -dict(result.category_counts())[a.category][0],
+    )[:8]:
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S",
+                              time.gmtime(alert.timestamp))
+        print(f"  [{stamp}] {alert.source:<10} {alert.category:<10} "
+              f"{alert.record.full_text()[:60]}")
+
+    print()
+    print("Per-category thresholds learned from the gap structure "
+          "(Section 4's recommendation):")
+    thresholds = suggest_thresholds(sorted_by_time(result.raw_alerts))
+    if thresholds:
+        for category, threshold in sorted(thresholds.items()):
+            print(f"  {category:<12} T = {threshold:8.1f} s "
+                  f"(global default: {result.threshold:g} s)")
+    else:
+        print("  (no category needed a non-default threshold)")
+
+    print()
+    print("Cross-category alias groups (correlated tags, Figure 3's "
+          "problem):")
+    groups = learn_correlated_groups(
+        sorted_by_time(result.raw_alerts), window=300.0
+    )
+    if groups:
+        for group in groups:
+            print("  " + " <-> ".join(sorted(group)))
+    else:
+        print("  (no correlated groups at this scale)")
+
+
+if __name__ == "__main__":
+    main()

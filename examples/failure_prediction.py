@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Failure prediction with a per-category ensemble (Section 5).
+
+The paper recommends that "prediction efforts ... produce an ensemble of
+predictors, each specializing in one or more categories", because failure
+classes have different predictive signatures — or none.  This example:
+
+1. generates a Liberty log with the PBS-bug period at full multiplicity;
+2. splits the alert history into train/validation/test spans;
+3. fits the ensemble (burst, severity, and precursor candidates per
+   category) and shows which specialist each category got;
+4. scores the ensemble on the held-out span and compares it against the
+   single-feature burst baseline applied to everything.
+
+Usage::
+
+    python examples/failure_prediction.py [system]
+"""
+
+import sys
+
+from repro import pipeline
+from repro.prediction.base import evaluate
+from repro.prediction.ensemble import PredictorEnsemble
+from repro.prediction.features import AlertHistory
+from repro.prediction.predictors import BurstPredictor
+
+
+def quantile_spans(history):
+    times = [a.timestamp for a in history.alerts]
+    n = len(times)
+    t0, t1 = history.first_time(), history.last_time() + 1.0
+    return (
+        (t0, times[int(n * 0.5)]),
+        (times[int(n * 0.5)], times[int(n * 0.75)]),
+        (times[int(n * 0.75)], t1),
+    )
+
+
+def main() -> None:
+    system = sys.argv[1] if len(sys.argv) > 1 else "liberty"
+    print(f"Generating {system} alert history ...")
+    result = pipeline.run_system(
+        system, scale=1.0 if system == "liberty" else 1e-3,
+        background_scale=1e-4, seed=2007,
+    )
+    history = AlertHistory(result.raw_alerts)
+    train, validation, test = quantile_spans(history)
+    print(f"  {len(history.alerts):,} alerts across "
+          f"{len(history.categories)} categories")
+
+    print()
+    ensemble = PredictorEnsemble(min_f1=0.2)
+    ensemble.fit(history, train, validation)
+    print(ensemble.summary())
+
+    print()
+    print("Held-out test-span evaluation:")
+    scores = ensemble.score(history, *test)
+    if not scores:
+        print("  (no category had a usable predictive signature — the "
+              "paper's 'if any' caveat)")
+    for target, score in sorted(scores.items()):
+        print(f"  {target:<12} precision={score.precision:.2f} "
+              f"recall={score.recall:.2f} f1={score.f1:.2f} "
+              f"({score.failures} failures)")
+
+    print()
+    print("Single-feature baseline (burst detector for every category):")
+    for target in sorted(scores):
+        predictor = BurstPredictor(target)
+        predictor.train(history, *train)
+        warnings = predictor.warnings(history, *test)
+        failures = [
+            t for t in history.category_times(target)
+            if test[0] <= t < test[1]
+        ]
+        base = evaluate(warnings, failures, target,
+                        lead_min=10.0, lead_max=3600.0)
+        print(f"  {target:<12} precision={base.precision:.2f} "
+              f"recall={base.recall:.2f} f1={base.f1:.2f}")
+
+    print()
+    print("Categories with no ensemble member have no learnable signature;")
+    print("the ensemble stays silent there instead of crying wolf.")
+
+
+if __name__ == "__main__":
+    main()

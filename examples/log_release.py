@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Preparing a log for public release: anonymize, audit, verify, mine.
+
+The paper's authors could not release their data: "we cannot remove all
+sensitive information with sufficient confidence" (Section 3.2.1).  This
+example walks the release workflow the library supports:
+
+1. generate a Thunderbird log (its VAPI bodies carry IPs and sockets) and
+   write it to disk;
+2. pseudonymize it with a keyed, structure-preserving scrubber —
+   consistent mappings keep cross-line correlation intact;
+3. audit: residual-risk report, and verification that the *analysis*
+   results (alert counts, per-category table) are identical on the
+   anonymized log, so the release is scientifically useful;
+4. mine frequent templates from the anonymized log — what a researcher
+   without the expert rules could still learn.
+
+Usage::
+
+    python examples/log_release.py [scale]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import pipeline
+from repro.analysis.patterns import mine_templates, template_coverage
+from repro.logio.reader import read_log
+from repro.logio.writer import write_log
+from repro.logmodel.anonymize import Pseudonymizer
+from repro.simulation.generator import generate_log
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 5e-5
+    workdir = Path(tempfile.mkdtemp(prefix="repro-release-"))
+    raw_path = workdir / "thunderbird.log"
+    anon_path = workdir / "thunderbird-anon.log"
+
+    print(f"1. Writing a raw Thunderbird log to {raw_path} ...")
+    generated = generate_log("thunderbird", scale=scale, seed=2007)
+    year = int(generated.scenario.start_date.split("-")[0])
+    lines = write_log(generated.records, raw_path, "thunderbird")
+    print(f"   {lines:,} lines")
+
+    print(f"2. Pseudonymizing to {anon_path} (keyed, structure-"
+          "preserving) ...")
+    scrubber = Pseudonymizer(key="release-2026")
+    write_log(
+        scrubber.scrub_stream(
+            read_log(raw_path, "thunderbird", year=year)
+        ),
+        anon_path,
+        "thunderbird",
+    )
+    print(f"   {len(scrubber.mapping):,} distinct sensitive atoms "
+          "pseudonymized")
+
+    print("3. Audit:")
+    residuals = scrubber.residual_risk()
+    if residuals:
+        print(f"   STOP: {len(residuals)} residual sensitive-looking "
+              f"strings, e.g. {residuals[0]!r}")
+    else:
+        print("   no residual sensitive-looking strings detected")
+
+    before = pipeline.run_stream(
+        read_log(raw_path, "thunderbird", year=year), "thunderbird"
+    )
+    after = pipeline.run_stream(
+        read_log(anon_path, "thunderbird", year=year), "thunderbird"
+    )
+    print("   analysis equivalence on the anonymized log:")
+    print(f"     raw alerts:      {before.raw_alert_count:,} -> "
+          f"{after.raw_alert_count:,}")
+    print(f"     filtered alerts: {before.filtered_alert_count:,} -> "
+          f"{after.filtered_alert_count:,}")
+    same = before.category_counts() == after.category_counts()
+    print(f"     per-category table identical: {same}")
+
+    print("4. What an outside researcher could mine from the release:")
+    bodies = [
+        r.full_text()
+        for r in read_log(anon_path, "thunderbird", year=year)
+    ]
+    templates = mine_templates(bodies, min_support=25)
+    print(f"   {len(templates)} templates cover "
+          f"{template_coverage(templates, bodies):.1%} of messages; top 5:")
+    for template in templates[:5]:
+        print(f"     [{template.support:>7,}] {template.pattern()[:70]}")
+
+
+if __name__ == "__main__":
+    main()

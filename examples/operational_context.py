@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Operational context: disambiguating alerts and measuring what matters.
+
+Section 3.2.1's motivating example is a BG/L message at severity FAILURE
+whose body says "ciodb exited normally with exit code 0": catastrophic in
+production, harmless during maintenance.  "Only with additional
+information supplied by the system administrator could we conclude that
+this message was likely innocuous."
+
+This example shows what the paper says should exist:
+
+1. a Figure 1 state timeline with logged transitions ("the time and cause
+   of system state changes");
+2. MASNORM alerts disambiguated against it;
+3. RAS metrics done both ways — the misleading log-derived MTTF at several
+   filter thresholds, and the recommended lost-work accounting
+   (Section 5, "Quantify RAS").
+
+Usage::
+
+    python examples/operational_context.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import pipeline
+from repro.analysis.ras import lost_work_report, mttf_sensitivity
+from repro.core.filtering import sorted_by_time
+from repro.reporting.figures import figure1
+from repro.simulation.cluster import Cluster
+from repro.simulation.opcontext import disambiguate
+from repro.simulation.workload import WorkloadModel
+from repro.systems.specs import get_system
+
+
+def main() -> None:
+    print("Generating BG/L with its operational-context ground truth ...")
+    result = pipeline.run_system("bgl", scale=1e-3, seed=2007)
+    timeline = result.generated.timeline
+
+    print()
+    print(figure1(timeline))
+
+    print()
+    print("Disambiguating the paper's ambiguous BGLMASTER alerts "
+          "(MASNORM, severity FAILURE, body 'ciodb exited normally'):")
+    masnorm = [a for a in result.filtered_alerts if a.category == "MASNORM"]
+    verdicts = {"benign": 0, "critical": 0}
+    for alert in masnorm:
+        verdict = disambiguate(timeline, alert.timestamp, ambiguous=True)
+        verdicts[verdict] += 1
+        stamp = time.strftime("%Y-%m-%d %H:%M",
+                              time.gmtime(alert.timestamp))
+        state = timeline.state_at(alert.timestamp).value
+        print(f"  [{stamp}] during {state:<22} -> {verdict}")
+    print(f"  summary: {verdicts['critical']} critical, "
+          f"{verdicts['benign']} benign — and WITHOUT the context log, "
+          "all of them would be 'unknown'.")
+
+    print()
+    print("Why log-derived MTTF misleads (Section 5, 'using logs to "
+          "compare machines is absurd'):")
+    window = timeline.end - timeline.start
+    for threshold, mttf in sorted(
+        mttf_sensitivity(
+            sorted_by_time(result.raw_alerts), window
+        ).items()
+    ):
+        print(f"  filter T = {threshold:6.1f} s  ->  'MTTF' = "
+              f"{mttf / 3600:10.1f} hours")
+    print("  Same machine, same log: the metric tracks the analysis knob.")
+
+    print()
+    print("The recommended metric instead — work lost to failures:")
+    cluster = Cluster(get_system("bgl"), max_nodes=512)
+    jobs = WorkloadModel(cluster).generate_list(
+        np.random.default_rng(7), timeline.start, timeline.end
+    )
+    # Attribute node-named kernel failures to the jobs running there.
+    node_alerts = [
+        a for a in result.filtered_alerts if a.source.startswith("R")
+    ]
+    report = lost_work_report(node_alerts, jobs, timeline=timeline)
+    total_work = sum(job.node_seconds() for job in jobs)
+    print(f"  jobs simulated:            {len(jobs):,} "
+          f"({total_work / 3.6e6:,.0f} knode-hours)")
+    print(f"  lost (all states):         "
+          f"{report.total_lost_node_seconds / 3600:,.0f} node-hours")
+    print(f"  lost in production time:   "
+          f"{report.production_lost_node_seconds / 3600:,.0f} node-hours")
+    by_category = sorted(
+        report.by_category().items(), key=lambda kv: -kv[1]
+    )[:5]
+    for category, lost in by_category:
+        if lost > 0:
+            print(f"    {category:<12} {lost / 3600:10,.0f} node-hours")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: generate one supercomputer's log and study it.
+
+Runs the full paper pipeline — synthetic log generation, expert-rule alert
+tagging (Section 3.2), simultaneous spatio-temporal filtering
+(Algorithm 3.1) — for the Liberty cluster and prints what a system
+administrator would want to know.
+
+Usage::
+
+    python examples/quickstart.py [system] [scale]
+
+where ``system`` is one of bgl, thunderbird, redstorm, spirit, liberty
+(default liberty) and ``scale`` is the volume fraction of the paper's logs
+to generate (default 1e-4).
+"""
+
+import sys
+
+from repro import pipeline
+from repro.reporting.format import render_table
+
+
+def main() -> None:
+    system = sys.argv[1] if len(sys.argv) > 1 else "liberty"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1e-4
+
+    print(f"Generating and analyzing the {system} log at scale {scale:g}...")
+    result = pipeline.run_system(system, scale=scale, seed=2007)
+
+    print()
+    print(result.summary())
+    print()
+
+    rows = [
+        (category, f"{raw:,}", f"{filtered:,}")
+        for category, (raw, filtered) in sorted(
+            result.category_counts().items(), key=lambda kv: -kv[1][0]
+        )
+    ]
+    print(render_table(("Category", "Raw", "Filtered"), rows,
+                       title=f"Alert categories on {system}"))
+    print()
+    reduction = 1 - result.filtered_alert_count / max(result.raw_alert_count, 1)
+    print(
+        f"Filtering (T = {result.threshold:g} s) removed "
+        f"{reduction:.1%} of the alerts as redundant reports — "
+        "the paper's motivation for Section 3.3."
+    )
+
+
+if __name__ == "__main__":
+    main()

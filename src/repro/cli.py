@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflows a downstream adopter needs:
+
+* ``generate`` — write a synthetic machine log in its native format;
+* ``analyze``  — run the tagging/filtering pipeline over a log file;
+* ``study``    — the whole paper: all five systems, Tables 1-6;
+* ``anonymize`` — pseudonymize a log for release (Section 3.2.1);
+* ``mine``     — mine frequent message templates (Vaarandi-style) and
+  propose candidate alert rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import pipeline
+from .analysis.patterns import mine_templates, suggest_rules, template_coverage
+from .logio.reader import read_log
+from .logio.writer import write_log
+from .logmodel.anonymize import Pseudonymizer
+from .reporting import tables
+from .reporting.format import render_table
+from .simulation.generator import generate_log
+from .systems.specs import SYSTEMS
+
+SYSTEM_CHOICES = sorted(SYSTEMS)
+
+
+def _add_common_generation_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("system", choices=SYSTEM_CHOICES)
+    parser.add_argument("--scale", type=float, default=1e-4,
+                        help="fraction of the paper's message volume")
+    parser.add_argument("--seed", type=int, default=2007)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    generated = generate_log(args.system, scale=args.scale, seed=args.seed)
+    count = write_log(
+        generated.records, args.out, args.system, compress=args.gzip,
+    )
+    print(f"wrote {count:,} lines to {args.out}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    records = read_log(args.path, args.system, year=args.year)
+    result = pipeline.run_stream(records, args.system,
+                                 threshold=args.threshold)
+    if args.full:
+        from .reporting.report import system_report
+
+        print(system_report(result))
+        return 0
+    print(result.summary())
+    print()
+    rows = [
+        (category, f"{raw:,}", f"{filtered:,}")
+        for category, (raw, filtered) in sorted(
+            result.category_counts().items(), key=lambda kv: -kv[1][0]
+        )
+    ]
+    if rows:
+        print(render_table(("Category", "Raw", "Filtered"), rows,
+                           title="Alert categories"))
+    else:
+        print("no alerts tagged")
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    results = {}
+    for system in SYSTEM_CHOICES:
+        scale = args.scale * (100 if system == "bgl" else 1)
+        results[system] = pipeline.run_system(
+            system, scale=scale, seed=args.seed
+        )
+        print(f"# {system}: {results[system].message_count:,} messages, "
+              f"{results[system].raw_alert_count:,} alerts",
+              file=sys.stderr)
+    print(tables.all_tables(results))
+    return 0
+
+
+def cmd_anonymize(args: argparse.Namespace) -> int:
+    scrubber = Pseudonymizer(key=args.key)
+    records = read_log(args.path, args.system, year=args.year)
+    count = write_log(
+        scrubber.scrub_stream(records), args.out, args.system,
+        compress=args.gzip,
+    )
+    print(f"wrote {count:,} anonymized lines to {args.out}")
+    residuals = scrubber.residual_risk()
+    if residuals:
+        print(f"WARNING: {len(residuals)} residual sensitive-looking "
+              "strings survived scrubbing; review before release:")
+        for item in residuals[:10]:
+            print(f"  {item}")
+        return 1
+    print("no residual sensitive-looking strings detected "
+          "(not a guarantee; audit before release)")
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    records = list(read_log(args.path, args.system, year=args.year))
+    bodies = [r.full_text() for r in records]
+    templates = mine_templates(bodies, min_support=args.min_support)
+    coverage = template_coverage(templates, bodies)
+    print(f"{len(templates)} templates cover {coverage:.1%} of "
+          f"{len(bodies):,} messages")
+    for template in templates[: args.top]:
+        print(f"  [{template.support:>8,}] {template.pattern()[:100]}")
+    rules = suggest_rules(templates)
+    if rules:
+        print()
+        print("candidate alert rules (review before adopting):")
+        for rule in rules[: args.top]:
+            print(f"  /{rule[:100]}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser(
+        "generate", help="write a synthetic machine log"
+    )
+    _add_common_generation_args(p_generate)
+    p_generate.add_argument("--out", required=True)
+    p_generate.add_argument("--gzip", action="store_true")
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="tag and filter alerts in a log file"
+    )
+    p_analyze.add_argument("path")
+    p_analyze.add_argument("--system", required=True, choices=SYSTEM_CHOICES)
+    p_analyze.add_argument("--year", type=int, default=2005)
+    p_analyze.add_argument("--threshold", type=float, default=5.0)
+    p_analyze.add_argument("--full", action="store_true",
+                           help="full report: attribution, severity, "
+                                "interarrival characterization")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_study = sub.add_parser(
+        "study", help="run all five systems and print Tables 1-6"
+    )
+    p_study.add_argument("--scale", type=float, default=1e-4)
+    p_study.add_argument("--seed", type=int, default=2007)
+    p_study.set_defaults(func=cmd_study)
+
+    p_anon = sub.add_parser(
+        "anonymize", help="pseudonymize a log for release"
+    )
+    p_anon.add_argument("path")
+    p_anon.add_argument("--system", required=True, choices=SYSTEM_CHOICES)
+    p_anon.add_argument("--out", required=True)
+    p_anon.add_argument("--key", default="repro")
+    p_anon.add_argument("--year", type=int, default=2005)
+    p_anon.add_argument("--gzip", action="store_true")
+    p_anon.set_defaults(func=cmd_anonymize)
+
+    p_mine = sub.add_parser(
+        "mine", help="mine frequent message templates from a log"
+    )
+    p_mine.add_argument("path")
+    p_mine.add_argument("--system", required=True, choices=SYSTEM_CHOICES)
+    p_mine.add_argument("--year", type=int, default=2005)
+    p_mine.add_argument("--min-support", type=int, default=10)
+    p_mine.add_argument("--top", type=int, default=15)
+    p_mine.set_defaults(func=cmd_mine)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Per-system expert alert rulesets (77 categories across five machines).
+
+The paper identified alerts "through a combination of regular expression
+matching and manual intervention", using heuristics "supplied by the
+administrators for the respective systems ... often in the form of regular
+expressions amenable for consumption by the logsurfer utility"
+(Section 3.2).  This package encodes one ruleset per machine:
+
+* :data:`~repro.core.rules.bgl.RULESET` — 41 categories
+* :data:`~repro.core.rules.thunderbird.RULESET` — 10 categories
+* :data:`~repro.core.rules.redstorm.RULESET` — 12 categories
+* :data:`~repro.core.rules.spirit.RULESET` — 8 categories
+* :data:`~repro.core.rules.liberty.RULESET` — 6 categories
+"""
+
+from typing import Dict
+
+from ..categories import Ruleset
+from . import bgl, liberty, redstorm, spirit, thunderbird
+
+RULESETS: Dict[str, Ruleset] = {
+    "bgl": bgl.RULESET,
+    "thunderbird": thunderbird.RULESET,
+    "redstorm": redstorm.RULESET,
+    "spirit": spirit.RULESET,
+    "liberty": liberty.RULESET,
+}
+
+TOTAL_CATEGORIES = sum(len(rs) for rs in RULESETS.values())
+
+
+def get_ruleset(system: str) -> Ruleset:
+    """The expert ruleset for a system short name."""
+    try:
+        return RULESETS[system]
+    except KeyError:
+        valid = ", ".join(sorted(RULESETS))
+        raise KeyError(f"no ruleset for {system!r}; valid: {valid}") from None
+
+
+__all__ = ["RULESETS", "TOTAL_CATEGORIES", "get_ruleset", "Ruleset"]

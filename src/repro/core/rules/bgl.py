@@ -1,0 +1,210 @@
+"""Expert alert rules for Blue Gene/L.
+
+The paper identified 41 alert categories on BG/L (Table 2); Table 4 lists
+the ten most common by name and aggregates the remaining 31 as
+"I / 31 Others" (all Indeterminate, exemplified by "machine check
+interrupt").  We reproduce all 41: the ten named categories with the
+paper's example bodies, and 31 Indeterminate categories with names and
+bodies consistent with the BG/L RAS facility taxonomy (KERNEL, APP,
+LINKCARD, MONITOR, BGLMASTER).
+
+Severity calibration follows Table 5: BG/L alerts are 348,398 FATAL plus
+62 FAILURE — the FAILURE alerts are the ``MASNORM`` category, which is the
+paper's operational-context poster child ("BGLMASTER FAILURE ciodb exited
+normally with exit code 0", Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from ...logmodel.record import Channel
+from ..categories import AlertType, CategoryDef, Ruleset
+from .common import formatted, hex_word, rand_int
+
+_H = AlertType.HARDWARE
+_S = AlertType.SOFTWARE
+_I = AlertType.INDETERMINATE
+_CH = Channel.JTAG_MAILBOX
+
+
+def _kernel(name, alert_type, pattern, example, body_factory=None, severity="FATAL"):
+    return CategoryDef(
+        name=name, system="bgl", alert_type=alert_type, pattern=pattern,
+        facility="KERNEL", severity=severity, channel=_CH, example=example,
+        body_factory=body_factory,
+    )
+
+
+def _app(name, alert_type, pattern, example, body_factory=None):
+    return CategoryDef(
+        name=name, system="bgl", alert_type=alert_type, pattern=pattern,
+        facility="APP", severity="FATAL", channel=_CH, example=example,
+        body_factory=body_factory,
+    )
+
+
+def _facility(facility, name, pattern, example, body_factory=None, severity="FATAL"):
+    return CategoryDef(
+        name=name, system="bgl", alert_type=_I, pattern=pattern,
+        facility=facility, severity=severity, channel=_CH, example=example,
+        body_factory=body_factory,
+    )
+
+
+_ciod_stream = formatted(
+    "ciod: Error reading message prefix after {msg} on CioStream socket to "
+    "172.16.{b}.{c}:{port}",
+    msg=lambda rng: "LOGIN_MESSAGE",
+    b=lambda rng: rand_int(rng, 0, 127),
+    c=lambda rng: rand_int(rng, 1, 254),
+    port=lambda rng: rand_int(rng, 1024, 65535),
+)
+
+_ciod_load = formatted(
+    "ciod: Error reading message prefix after LOAD_MESSAGE on CioStream socket to "
+    "172.16.{b}.{c}:{port}",
+    b=lambda rng: rand_int(rng, 0, 127),
+    c=lambda rng: rand_int(rng, 1, 254),
+    port=lambda rng: rand_int(rng, 1024, 65535),
+)
+
+#: The ten categories the paper's Table 4 names, in descending raw count.
+NAMED_CATEGORIES = (
+    _kernel("KERNDTLB", _H, r"data TLB error interrupt",
+            "data TLB error interrupt"),
+    _kernel("KERNSTOR", _H, r"data storage interrupt",
+            "data storage interrupt"),
+    _app("APPSEV", _S, r"Error reading message prefix after LOGIN_MESSAGE",
+         "ciod: Error reading message prefix after LOGIN_MESSAGE on CioStream "
+         "socket to 172.16.96.116:41752",
+         _ciod_stream),
+    _kernel("KERNMNTF", _S, r"Lustre mount FAILED",
+            "Lustre mount FAILED : bglio11 : block_id : location",
+            formatted("Lustre mount FAILED : bglio{n} : block_id : location",
+                      n=lambda rng: rand_int(rng, 1, 64))),
+    _kernel("KERNTERM", _S, r"rts: kernel terminated for reason",
+            "rts: kernel terminated for reason 1004",
+            formatted("rts: kernel terminated for reason {code}",
+                      code=lambda rng: rand_int(rng, 1001, 1013))),
+    _kernel("KERNREC", _S, r"Error receiving packet on tree network",
+            "Error receiving packet on tree network, expecting type 57 "
+            "instead of type 3 (softheader=0020 0x0a)",
+            formatted("Error receiving packet on tree network, expecting type "
+                      "{want} instead of type {got} (softheader={hdr})",
+                      want=lambda rng: rand_int(rng, 1, 99),
+                      got=lambda rng: rand_int(rng, 1, 99),
+                      hdr=lambda rng: hex_word(rng, 8))),
+    _app("APPREAD", _S, r"failed to read message prefix on control stream",
+         "ciod: failed to read message prefix on control stream (CioStream "
+         "socket to 172.16.96.116:33569)",
+         formatted("ciod: failed to read message prefix on control stream "
+                   "(CioStream socket to 172.16.{b}.{c}:{port})",
+                   b=lambda rng: rand_int(rng, 0, 127),
+                   c=lambda rng: rand_int(rng, 1, 254),
+                   port=lambda rng: rand_int(rng, 1024, 65535))),
+    _kernel("KERNRTSP", _S, r"rts panic! - stopping execution",
+            "rts panic! - stopping execution"),
+    _app("APPRES", _S, r"Error reading message prefix after LOAD_MESSAGE",
+         "ciod: Error reading message prefix after LOAD_MESSAGE on CioStream "
+         "socket to 172.16.96.116:41752",
+         _ciod_load),
+    _app("APPUNAV", _I, r"Error creating node map from file",
+         "ciod: Error creating node map from file /p/gb1/user/nodemap "
+         "(Permission denied)",
+         formatted("ciod: Error creating node map from file /p/gb{n}/job/"
+                   "nodemap (Permission denied)",
+                   n=lambda rng: rand_int(rng, 1, 4))),
+)
+
+#: The 31 categories aggregated as "I / 31 Others" in Table 4.
+OTHER_CATEGORIES = (
+    _kernel("KERNMC", _I, r"machine check interrupt",
+            "machine check interrupt"),
+    _kernel("KERNPAN", _I, r"kernel panic", "kernel panic"),
+    _kernel("KERNSOCK", _I, r"socket closed while reading tree packet",
+            "socket closed while reading tree packet"),
+    _kernel("KERNPOW", _I, r"power module .* status fault",
+            "power module U07 status fault detected",
+            formatted("power module U{n:02d} status fault detected",
+                      n=lambda rng: rand_int(rng, 0, 15))),
+    _kernel("KERNNOETH", _I, r"no ethernet link detected",
+            "no ethernet link detected on emac0"),
+    _kernel("KERNMICE", _I, r"microloader exception",
+            "microloader exception: instruction address 0x01a3f2c4",
+            formatted("microloader exception: instruction address 0x{addr}",
+                      addr=lambda rng: hex_word(rng, 8))),
+    _kernel("KERNCON", _I, r"console connection lost",
+            "console connection lost to node card"),
+    _kernel("KERNEXT", _I, r"external input interrupt",
+            "external input interrupt (unit=0x0d bit=0x00): uncorrectable "
+            "torus error"),
+    _kernel("KERNFSHUT", _I, r"shutdown complete for reason",
+            "shutdown complete for reason node card power error"),
+    _kernel("KERNBIT", _I, r"double-hummer alignment exception",
+            "double-hummer alignment exception at 0x00a1b2c3",
+            formatted("double-hummer alignment exception at 0x{addr}",
+                      addr=lambda rng: hex_word(rng, 8))),
+    _kernel("KERNTORREC", _I, r"torus receiver .* input pipe error",
+            "torus receiver z+ input pipe error: counter hit threshold"),
+    _kernel("KERNTORSND", _I, r"torus sender .* retransmission error",
+            "torus sender y- retransmission error threshold exceeded"),
+    _kernel("KERNDDR", _I, r"ddr: excessive correctable errors",
+            "ddr: excessive correctable errors on rank 2, replacing card "
+            "advised",
+            formatted("ddr: excessive correctable errors on rank {n}, "
+                      "replacing card advised",
+                      n=lambda rng: rand_int(rng, 0, 3))),
+    _kernel("KERNPARITY", _I, r"instruction cache parity error",
+            "instruction cache parity error corrected"),
+    _kernel("KERNSRAM", _I, r"SRAM uncorrectable parity error",
+            "SRAM uncorrectable parity error detected"),
+    _facility("LINKCARD", "LINKDISC", r"link disconnected on port",
+              "link disconnected on port 4",
+              formatted("link disconnected on port {n}",
+                        n=lambda rng: rand_int(rng, 0, 15))),
+    _facility("LINKCARD", "LINKIAP", r"iap interrupt: asic link failure",
+              "iap interrupt: asic link failure"),
+    _facility("LINKCARD", "LINKPAP", r"pap failed: link training timeout",
+              "pap failed: link training timeout"),
+    _facility("MONITOR", "MONPOW", r"power deactivated",
+              "power deactivated: node card voltage fault"),
+    _facility("MONITOR", "MONFAN", r"fan module speed below threshold",
+              "fan module speed below threshold: 2200 rpm",
+              formatted("fan module speed below threshold: {n} rpm",
+                        n=lambda rng: rand_int(rng, 1500, 2800))),
+    _facility("MONITOR", "MONTEMP", r"temperature over limit",
+              "temperature over limit on node card sensor 3",
+              formatted("temperature over limit on node card sensor {n}",
+                        n=lambda rng: rand_int(rng, 0, 7))),
+    _facility("MONITOR", "MONNULL", r"no monitor data available",
+              "no monitor data available for midplane"),
+    _facility("BGLMASTER", "MASNORM", r"ciodb exited normally",
+              "ciodb exited normally with exit code 0",
+              severity="FAILURE"),
+    _facility("BGLMASTER", "MASABNORM", r"idoproxydb exited abnormally",
+              "idoproxydb exited abnormally with exit code 1",
+              formatted("idoproxydb exited abnormally with exit code {n}",
+                        n=lambda rng: rand_int(rng, 1, 255))),
+    _app("APPBUSY", _I, r"Input/output daemon busy",
+         "ciod: Input/output daemon busy: retrying LOAD_MESSAGE"),
+    _app("APPCHILD", _I, r"child process exited with signal",
+         "ciod: child process exited with signal 11",
+         formatted("ciod: child process exited with signal {n}",
+                   n=lambda rng: rand_int(rng, 1, 15))),
+    _app("APPOUT", _I, r"failed to write output record to control stream",
+         "ciod: failed to write output record to control stream"),
+    _app("APPTO", _I, r"timeout waiting for reply from compute node",
+         "ciod: timeout waiting for reply from compute node"),
+    _kernel("KERNSERV", _I, r"service interrupt received",
+            "service interrupt received from service network"),
+    _kernel("KERNWAIT", _I, r"wait state entered",
+            "wait state entered: rts delaying for resource"),
+    _kernel("KERNRTSA", _I, r"rts assertion failed",
+            "rts assertion failed: bglsys/rts.c:1881",
+            formatted("rts assertion failed: bglsys/rts.c:{n}",
+                      n=lambda rng: rand_int(rng, 100, 4999))),
+)
+
+#: Names of the 31 aggregated categories (the "I / 31 Others" row).
+OTHER_NAMES = tuple(cat.name for cat in OTHER_CATEGORIES)
+
+RULESET = Ruleset(system="bgl", categories=NAMED_CATEGORIES + OTHER_CATEGORIES)

@@ -1,0 +1,74 @@
+"""Helpers shared by the per-system expert rulesets.
+
+Body factories make generated logs realistic: the same category appears
+with varying identifiers (addresses, PIDs, job ids, LUNs...), exactly the
+kind of variation the administrators' regular expressions had to abstract
+over (paper, Section 3.2).  Each factory takes a ``numpy.random.Generator``
+and must produce text that the category's own pattern matches — a property
+the test suite verifies for all 77 categories.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+_HEX_DIGITS = "0123456789abcdef"
+
+
+def hex_word(rng, width: int = 16) -> str:
+    """A random lowercase hex string of ``width`` digits."""
+    if rng is None:
+        return "0" * width
+    return "".join(_HEX_DIGITS[int(d)] for d in rng.integers(0, 16, size=width))
+
+
+def rand_int(rng, lo: int, hi: int) -> int:
+    """A random integer in ``[lo, hi]`` inclusive; ``lo`` when rng is None."""
+    if rng is None:
+        return lo
+    return int(rng.integers(lo, hi + 1))
+
+
+def pick(rng, options: Sequence[str]) -> str:
+    """A random element of ``options``; the first when rng is None."""
+    if rng is None:
+        return options[0]
+    return options[int(rng.integers(0, len(options)))]
+
+
+def job_id(rng) -> str:
+    """A PBS-style job identifier such as ``31415.ladmin2``."""
+    return f"{rand_int(rng, 1000, 99999)}.admin"
+
+
+def ip_port(rng) -> str:
+    """A dotted-quad IP with port, as in PBS connection-refused messages."""
+    return (
+        f"10.{rand_int(rng, 0, 254)}.{rand_int(rng, 0, 254)}"
+        f".{rand_int(rng, 1, 254)}:{rand_int(rng, 1024, 65535)}"
+    )
+
+
+def constant(body: str) -> Callable:
+    """A body factory that always returns ``body``."""
+    def factory(rng=None) -> str:
+        return body
+
+    return factory
+
+
+def formatted(template: str, **field_factories) -> Callable:
+    """A body factory filling ``template`` from per-field factories.
+
+    Each keyword maps a template field name to a callable ``(rng) -> value``.
+
+    >>> f = formatted("cmd {addr} failed", addr=lambda rng: hex_word(rng, 8))
+    >>> f(None)
+    'cmd 00000000 failed'
+    """
+
+    def factory(rng=None) -> str:
+        values = {name: make(rng) for name, make in field_factories.items()}
+        return template.format(**values)
+
+    return factory

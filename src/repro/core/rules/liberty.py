@@ -1,0 +1,61 @@
+"""Expert alert rules for Liberty (6 categories, paper Table 4).
+
+Liberty is the smallest machine in the study (512 processors) and logged by
+far the fewest alerts (2452).  Most of them trace to a single PBS software
+bug: "during the first quarter of 2006, Liberty saw 2231 job-fatal alerts
+... the MPI rank 0 mom died.  Jobs afflicted by this bug could not complete
+and were eventually killed, but not before generating the task_check
+message up to 74 times" (Section 3.3.1) — an estimated 1336 jobs killed.
+The ``GM_PAR``/``GM_LANAI`` pair is the paper's example of correlated alerts
+relegated to different categories (Figure 3).  Liberty syslogs record no
+severity.
+"""
+
+from __future__ import annotations
+
+from ..categories import AlertType, CategoryDef, Ruleset
+from .common import formatted, ip_port, job_id, rand_int
+
+_H = AlertType.HARDWARE
+_S = AlertType.SOFTWARE
+
+
+def _cat(name, alert_type, pattern, facility, example, body_factory=None):
+    return CategoryDef(
+        name=name, system="liberty", alert_type=alert_type, pattern=pattern,
+        facility=facility, severity=None, example=example,
+        body_factory=body_factory,
+    )
+
+
+CATEGORIES = (
+    _cat("PBS_CHK", _S, r"task_check, cannot tm_reply", "pbs_mom",
+         "task_check, cannot tm_reply to 27342.ladmin2 task 1",
+         formatted("task_check, cannot tm_reply to {job} task 1",
+                   job=job_id)),
+    _cat("PBS_BFD", _S, r"Bad file descriptor \(9\) in tm_request", "pbs_mom",
+         "Bad file descriptor (9) in tm_request, job 27342.ladmin2 "
+         "not running",
+         formatted("Bad file descriptor (9) in tm_request, job {job} "
+                   "not running", job=job_id)),
+    _cat("PBS_CON", _S, r"Connection refused \(111\) in open_demux", "pbs_mom",
+         "Connection refused (111) in open_demux, open_demux: connect "
+         "10.1.0.42:42769",
+         formatted("Connection refused (111) in open_demux, open_demux: "
+                   "connect {ipp}", ipp=ip_port)),
+    _cat("GM_PAR", _H, r"gm_parity\.c.*parity_int", "kernel",
+         "GM: LANAI[0]: PANIC: /usr/src/gm/gm_parity.c:115:parity_int():"
+         "firmware",
+         formatted("GM: LANAI[0]: PANIC: /usr/src/gm/gm_parity.c:{line}:"
+                   "parity_int():firmware",
+                   line=lambda rng: rand_int(rng, 100, 999))),
+    _cat("GM_LANAI", _S, r"LANai is not running", "kernel",
+         "GM: LANai is not running. Allowing port=0 open for debugging"),
+    _cat("GM_MAP", _S, r"gm_mapper.*assertion failed", "gm_mapper",
+         "assertion failed. /usr/src/gm/mi.c:541 (r == GM_SUCCESS)",
+         formatted("assertion failed. /usr/src/gm/mi.c:{line} "
+                   "(r == GM_SUCCESS)",
+                   line=lambda rng: rand_int(rng, 100, 999))),
+)
+
+RULESET = Ruleset(system="liberty", categories=CATEGORIES)

@@ -1,0 +1,132 @@
+"""Expert alert rules for Red Storm (12 categories, paper Table 4).
+
+Red Storm's categories split across its three logging paths (paper,
+Section 3.1): DDN disk-controller messages (``DMT_*`` codes, syslog with
+severity), Lustre/kernel messages from Linux nodes (syslog with severity),
+and RAS events over TCP to the SMW (``ec_*`` event codes, *no severity*).
+
+Severity calibration follows Table 6: the CRIT alerts are almost exactly
+the ``BUS_PAR`` disk-failure storm; Lustre errors arrive as ERR; watchdog
+messages as WARNING; and the remaining DDN codes as INFO — which is why the
+paper concludes "syslog severity is of dubious value as a failure
+indicator".
+"""
+
+from __future__ import annotations
+
+from ...logmodel.record import Channel
+from ..categories import AlertType, CategoryDef, Ruleset
+from .common import formatted, hex_word, pick, rand_int
+
+_H = AlertType.HARDWARE
+_I = AlertType.INDETERMINATE
+
+
+def _ddn(name, pattern, severity, example, body_factory=None):
+    """A DDN controller message: syslog path, body led by a DMT_* code."""
+    return CategoryDef(
+        name=name, system="redstorm", alert_type=_H, pattern=pattern,
+        facility="", severity=severity, channel=Channel.DDN,
+        example=example, body_factory=body_factory,
+    )
+
+
+def _lustre(name, pattern, severity, example, body_factory=None):
+    """A Lustre/kernel message from a Linux node: syslog path."""
+    return CategoryDef(
+        name=name, system="redstorm", alert_type=_I, pattern=pattern,
+        facility="kernel", severity=severity, channel=Channel.SYSLOG_UDP,
+        example=example, body_factory=body_factory,
+    )
+
+
+def _ras(name, event, pattern, example, body_factory=None):
+    """An SMW event over the RAS TCP path: no severity analog."""
+    return CategoryDef(
+        name=name, system="redstorm", alert_type=_I, pattern=pattern,
+        facility=event, severity=None, channel=Channel.RAS_TCP,
+        example=example, body_factory=body_factory,
+    )
+
+
+CATEGORIES = (
+    _ddn("BUS_PAR", r"bus parity error", "CRIT",
+         "DMT_HINT Warning: Verify Host 2 bus parity error: 0200 Tier:5 LUN:4",
+         formatted("DMT_HINT Warning: Verify Host {h} bus parity error: "
+                   "{code} Tier:{tier} LUN:{lun}",
+                   h=lambda rng: rand_int(rng, 1, 4),
+                   code=lambda rng: hex_word(rng, 4),
+                   tier=lambda rng: rand_int(rng, 1, 8),
+                   lun=lambda rng: rand_int(rng, 0, 15))),
+    _ras("HBEAT", "ec_heartbeat_stop", r"ec_heartbeat_stop",
+         "warn node heartbeat_fault",
+         formatted("warn node heartbeat_fault interval {n}",
+                   n=lambda rng: rand_int(rng, 1, 9))),
+    _lustre("PTL_EXP", r"LustreError: .* timeout \(sent at", "ERR",
+            "LustreError: 6309:0:(events.c:55:request_out_callback()) @@@ "
+            "type 4, status -5 timeout (sent at 1142717221, 300s ago)",
+            formatted("LustreError: {pid}:0:(events.c:55:"
+                      "request_out_callback()) @@@ type {t}, status -5 "
+                      "timeout (sent at {sent}, 300s ago)",
+                      pid=lambda rng: rand_int(rng, 100, 30000),
+                      t=lambda rng: rand_int(rng, 1, 9),
+                      sent=lambda rng: rand_int(rng, 1_142_000_000,
+                                                1_152_000_000))),
+    _ddn("ADDR_ERR", r"DMT_102 Address error", "INFO",
+         "DMT_102 Address error LUN:0 command:28 address:f000000 length:1 "
+         "Anonymous host",
+         formatted("DMT_102 Address error LUN:{lun} command:{cmd} "
+                   "address:{addr} length:{length} Anonymous host",
+                   lun=lambda rng: rand_int(rng, 0, 15),
+                   cmd=lambda rng: rand_int(rng, 10, 40),
+                   addr=lambda rng: hex_word(rng, 7),
+                   length=lambda rng: rand_int(rng, 1, 8))),
+    _ddn("CMD_ABORT", r"DMT_310 Command Aborted", "INFO",
+         "DMT_310 Command Aborted: SCSI cmd:2A LUN 2 DMT_310 Lane:3 T:299 "
+         "a:f0120",
+         formatted("DMT_310 Command Aborted: SCSI cmd:2A LUN {lun} DMT_310 "
+                   "Lane:{lane} T:{t} a:{addr}",
+                   lun=lambda rng: rand_int(rng, 0, 15),
+                   lane=lambda rng: rand_int(rng, 0, 7),
+                   t=lambda rng: rand_int(rng, 1, 600),
+                   addr=lambda rng: hex_word(rng, 5))),
+    _lustre("PTL_ERR", r"LustreError: .* type ==", "ERR",
+            "LustreError: 12345:0:(client.c:519:ptl_send_rpc()) @@@ "
+            "type == PTL_RPC_MSG_REQUEST",
+            formatted("LustreError: {pid}:0:(client.c:519:ptl_send_rpc()) "
+                      "@@@ type == PTL_RPC_MSG_REQUEST",
+                      pid=lambda rng: rand_int(rng, 100, 30000))),
+    _ras("TOAST", "ec_console_log", r"PANIC_SP WE ARE TOASTED!",
+         "PANIC_SP WE ARE TOASTED!"),
+    _lustre("EW", r"Expired watchdog for pid", "WARNING",
+            "Lustre: 4105:0:(watchdog.c:312:lcw_update_time()) Expired "
+            "watchdog for pid 4105 disabled after 299.9885s",
+            formatted("Lustre: {pid}:0:(watchdog.c:312:lcw_update_time()) "
+                      "Expired watchdog for pid {pid} disabled after "
+                      "{s}.{frac}s",
+                      pid=lambda rng: rand_int(rng, 100, 30000),
+                      s=lambda rng: rand_int(rng, 200, 400),
+                      frac=lambda rng: rand_int(rng, 0, 9999))),
+    _lustre("WT", r"Watchdog triggered for pid", "WARNING",
+            "Lustre: 4105:0:(watchdog.c:444:lcw_cb()) Watchdog triggered "
+            "for pid 4105: it was inactive for 200000ms",
+            formatted("Lustre: {pid}:0:(watchdog.c:444:lcw_cb()) Watchdog "
+                      "triggered for pid {pid}: it was inactive for {ms}ms",
+                      pid=lambda rng: rand_int(rng, 100, 30000),
+                      ms=lambda rng: rand_int(rng, 100_000, 400_000))),
+    _lustre("RBB", r"request buffers busy", "ERR",
+            "LustreError: All mds cray_kern_nal request buffers busy "
+            "(0us idle)",
+            formatted("LustreError: All mds cray_kern_nal request buffers "
+                      "busy ({n}us idle)",
+                      n=lambda rng: rand_int(rng, 0, 99))),
+    _ddn("DSK_FAIL", r"DMT_DINT Failing Disk", "ALERT",
+         "DMT_DINT Failing Disk 2A",
+         formatted("DMT_DINT Failing Disk {tier}{slot}",
+                   tier=lambda rng: rand_int(rng, 1, 8),
+                   slot=lambda rng: pick(rng, tuple("ABCDEF")))),
+    _lustre("OST", r"Failure to commit OST transaction", "ERR",
+            "LustreError: Failure to commit OST transaction (-5)?"),
+)
+
+RULESET = Ruleset(system="redstorm", categories=CATEGORIES)

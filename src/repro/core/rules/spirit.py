@@ -1,0 +1,64 @@
+"""Expert alert rules for Spirit/ICC2 (8 categories, paper Table 4).
+
+Spirit produced the largest logs of the study "despite the system being the
+second smallest ... due almost entirely to disk-related alert messages which
+were repeated millions of times" (Section 3.3.1) — the ``EXT_CCISS`` and
+``EXT_FS`` hardware categories, heavily concentrated on a handful of
+problematic nodes (node ``sn373`` alone logged 89,632,571 such messages,
+more than half of all Spirit alerts).  Spirit syslogs record no severity.
+"""
+
+from __future__ import annotations
+
+from ..categories import AlertType, CategoryDef, Ruleset
+from .common import formatted, hex_word, ip_port, job_id, rand_int
+
+_H = AlertType.HARDWARE
+_S = AlertType.SOFTWARE
+
+
+def _cat(name, alert_type, pattern, facility, example, body_factory=None):
+    return CategoryDef(
+        name=name, system="spirit", alert_type=alert_type, pattern=pattern,
+        facility=facility, severity=None, example=example,
+        body_factory=body_factory,
+    )
+
+
+CATEGORIES = (
+    _cat("EXT_CCISS", _H, r"has CHECK CONDITION", "kernel",
+         "cciss: cmd 0000010000a60000 has CHECK CONDITION, sense key = 0x3",
+         formatted("cciss: cmd {cmd} has CHECK CONDITION, sense key = 0x{k}",
+                   cmd=lambda rng: hex_word(rng, 16),
+                   k=lambda rng: rand_int(rng, 1, 6))),
+    _cat("EXT_FS", _H, r"EXT3-fs error", "kernel",
+         "EXT3-fs error (device cciss/c0d0p5) in ext3_reserve_inode_write: "
+         "IO failure",
+         formatted("EXT3-fs error (device cciss/c0d0p{n}) in "
+                   "ext3_reserve_inode_write: IO failure",
+                   n=lambda rng: rand_int(rng, 1, 8))),
+    _cat("PBS_CHK", _S, r"task_check, cannot tm_reply", "pbs_mom",
+         "task_check, cannot tm_reply to 31415.admin task 1",
+         formatted("task_check, cannot tm_reply to {job} task 1",
+                   job=job_id)),
+    _cat("GM_LANAI", _S, r"LANai is not running", "kernel",
+         "GM: LANai is not running. Allowing port=0 open for debugging"),
+    _cat("PBS_CON", _S, r"Connection refused \(111\) in open_demux", "pbs_mom",
+         "Connection refused (111) in open_demux, open_demux: connect "
+         "10.2.0.77:42769",
+         formatted("Connection refused (111) in open_demux, open_demux: "
+                   "connect {ipp}", ipp=ip_port)),
+    _cat("GM_MAP", _S, r"gm_mapper.*assertion failed", "gm_mapper",
+         "assertion failed. /usr/src/gm/lx_mapper.c:2112 (m->root)",
+         formatted("assertion failed. /usr/src/gm/lx_mapper.c:{line} "
+                   "(m->root)",
+                   line=lambda rng: rand_int(rng, 100, 4999))),
+    _cat("PBS_BFD", _S, r"Bad file descriptor \(9\) in tm_request", "pbs_mom",
+         "Bad file descriptor (9) in tm_request, job 31415.admin not running",
+         formatted("Bad file descriptor (9) in tm_request, job {job} "
+                   "not running", job=job_id)),
+    _cat("GM_PAR", _H, r"NIC ISR is reporting an SRAM parity error", "kernel",
+         "GM: The NIC ISR is reporting an SRAM parity error."),
+)
+
+RULESET = Ruleset(system="spirit", categories=CATEGORIES)

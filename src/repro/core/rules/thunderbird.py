@@ -1,0 +1,85 @@
+"""Expert alert rules for Thunderbird (10 categories, paper Table 4).
+
+Thunderbird's syslogs do not record a severity field (paper, Section 3.2),
+so every category here has ``severity=None``.  The dominant category by far
+is ``VAPI`` — "Local Catastrophic Errors" from the Infiniband stack whose
+"exact nature ... is not well-understood by our experts" (Section 3.3.1);
+3,229,194 of the machine's 3,248,239 alerts, 643,925 of them from a single
+node.
+"""
+
+from __future__ import annotations
+
+from ..categories import AlertType, CategoryDef, Ruleset
+from .common import formatted, hex_word, pick, rand_int
+
+_H = AlertType.HARDWARE
+_S = AlertType.SOFTWARE
+_I = AlertType.INDETERMINATE
+
+
+def _cat(name, alert_type, pattern, facility, example, body_factory=None):
+    return CategoryDef(
+        name=name, system="thunderbird", alert_type=alert_type,
+        pattern=pattern, facility=facility, severity=None,
+        example=example, body_factory=body_factory,
+    )
+
+
+CATEGORIES = (
+    _cat("VAPI", _I, r"Local Catastrophic Error", "kernel",
+         "[KERNEL_IB][ib_sm_events.c:1746]VAPI_open_hca failed "
+         "(Fatal error (Local Catastrophic Error))",
+         formatted("[KERNEL_IB][ib_sm_events.c:{line}]{fn} failed "
+                   "(Fatal error (Local Catastrophic Error))",
+                   line=lambda rng: rand_int(rng, 100, 4999),
+                   fn=lambda rng: pick(rng, ("VAPI_open_hca", "VAPI_query_hca_cap",
+                                             "MadBufferGet", "mad_send")))),
+    _cat("PBS_CON", _S, r"Connection refused \(111\) in open_demux", "pbs_mom",
+         "Connection refused (111) in open_demux, open_demux: cannot connect "
+         "to 10.2.1.16:42769",
+         formatted("Connection refused (111) in open_demux, open_demux: "
+                   "cannot connect to 10.{b}.{c}.{d}:{port}",
+                   b=lambda rng: rand_int(rng, 0, 16),
+                   c=lambda rng: rand_int(rng, 0, 254),
+                   d=lambda rng: rand_int(rng, 1, 254),
+                   port=lambda rng: rand_int(rng, 1024, 65535))),
+    _cat("MPT", _I, r"mptscsih: ioc0: attempting task abort", "kernel",
+         "mptscsih: ioc0: attempting task abort! (sc=00000101bddee480)",
+         formatted("mptscsih: ioc0: attempting task abort! (sc={sc})",
+                   sc=lambda rng: hex_word(rng, 16))),
+    _cat("EXT_FS", _H, r"EXT3-fs error", "kernel",
+         "EXT3-fs error (device sda5): ext3_journal_start_sb: "
+         "Detected aborted journal",
+         formatted("EXT3-fs error (device sda{n}): ext3_journal_start_sb: "
+                   "Detected aborted journal",
+                   n=lambda rng: rand_int(rng, 1, 8))),
+    _cat("CPU", _S, r"Losing some ticks", "kernel",
+         "Losing some ticks... checking if CPU frequency changed."),
+    _cat("SCSI", _H, r"rejecting I/O to offline device", "kernel",
+         "scsi0 (0:0): rejecting I/O to offline device",
+         formatted("scsi{n} (0:0): rejecting I/O to offline device",
+                   n=lambda rng: rand_int(rng, 0, 3))),
+    _cat("ECC", _H, r"EventID: 1404 Memory device", "Server Administrator",
+         "Instrumentation Service EventID: 1404 Memory device status is "
+         "critical Memory device location: DIMM2_B",
+         formatted("Instrumentation Service EventID: 1404 Memory device "
+                   "status is critical Memory device location: DIMM{n}_{bank}",
+                   n=lambda rng: rand_int(rng, 1, 4),
+                   bank=lambda rng: pick(rng, ("A", "B")))),
+    _cat("PBS_BFD", _S, r"Bad file descriptor \(9\) in tm_request", "pbs_mom",
+         "Bad file descriptor (9) in tm_request, job 72617.tbird-admin1 "
+         "not running",
+         formatted("Bad file descriptor (9) in tm_request, job "
+                   "{n}.tbird-admin1 not running",
+                   n=lambda rng: rand_int(rng, 1000, 99999))),
+    _cat("CHK_DSK", _H, r"Fault Status assert", "check-disks",
+         "tn231:1131540302, Fault Status assert, power subsystem",
+         formatted("tn{n}:{t}, Fault Status assert, power subsystem",
+                   n=lambda rng: rand_int(rng, 1, 4512),
+                   t=lambda rng: rand_int(rng, 1_100_000_000, 1_200_000_000))),
+    _cat("NMI", _I, r"NMI received", "kernel",
+         "Uhhuh. NMI received. Dazed and confused, but trying to continue"),
+)
+
+RULESET = Ruleset(system="thunderbird", categories=CATEGORIES)

@@ -1,0 +1,123 @@
+"""The serial temporal-then-spatial filter baseline (Liang et al.).
+
+Previous work on the BG/L prototype and production logs [Liang et al.,
+DSN'05 and DSN'06] applied two filters *serially* (paper, Section 3.3.2):
+
+1. **Temporal filter** — per source: "coalesces alerts within T seconds of
+   each other on a given source into a single alert.  For example, if a
+   node reports a particular alert every T seconds for a week, the temporal
+   filter keeps only the first."  Redundant alerts refresh the per-source
+   clock, so a long chain collapses to its head.
+2. **Spatial filter** — across sources, over the temporal filter's output:
+   "removes an alert if some other source had previously reported that
+   alert within T seconds."
+
+The paper's critique, which this implementation lets you measure directly:
+"serial filtering fails to remove alerts that share a root cause ... the
+problem arises when the temporal filter removes messages that the spatial
+filter would have used as cues that the failure had already been reported
+by another source."  The simultaneous filter
+(:mod:`repro.core.filtering`) removes those extra duplicates, and being one
+pass instead of two it also runs faster (~16 % on the Spirit logs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from .categories import Alert
+from .filtering import DEFAULT_THRESHOLD, log_filter
+
+
+def temporal_filter(
+    alerts: Iterable[Alert],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Iterator[Alert]:
+    """Per-source temporal coalescing (first stage of the serial pipeline).
+
+    An alert is redundant if the *same source* reported the *same category*
+    within ``threshold`` seconds; redundant alerts refresh the clock
+    (chain suppression).  Input must be sorted by non-decreasing time.
+    """
+    last_seen: Dict[Tuple[str, str], float] = {}
+    for alert in alerts:
+        key = (alert.source, alert.category)
+        last = last_seen.get(key)
+        last_seen[key] = alert.timestamp
+        if last is not None and alert.timestamp - last < threshold:
+            continue
+        yield alert
+
+
+def spatial_filter(
+    alerts: Iterable[Alert],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Iterator[Alert]:
+    """Cross-source spatial coalescing (second stage of the serial pipeline).
+
+    An alert is redundant if some *other* source reported the same category
+    within ``threshold`` seconds.  Same-source repeats are the temporal
+    filter's job and are deliberately not removed here.  Input must be
+    sorted by non-decreasing time.
+    """
+    last_by_category: Dict[str, Tuple[float, str]] = {}
+    for alert in alerts:
+        previous = last_by_category.get(alert.category)
+        last_by_category[alert.category] = (alert.timestamp, alert.source)
+        if previous is not None:
+            prev_time, prev_source = previous
+            if (
+                prev_source != alert.source
+                and alert.timestamp - prev_time < threshold
+            ):
+                continue
+        yield alert
+
+
+def serial_filter(
+    alerts: Iterable[Alert],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Iterator[Alert]:
+    """The full serial pipeline: temporal filter, then spatial filter."""
+    return spatial_filter(temporal_filter(alerts, threshold), threshold)
+
+
+def serial_filter_list(
+    alerts: Iterable[Alert],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Alert]:
+    """Eager variant of :func:`serial_filter`."""
+    return list(serial_filter(alerts, threshold))
+
+
+def compare_filters(
+    alerts: List[Alert],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, object]:
+    """Run both algorithms on the same stream and diff their outputs.
+
+    Returns a dict with the surviving alert lists and the two asymmetric
+    differences, keyed:
+
+    * ``"simultaneous"`` / ``"serial"`` — the survivor lists;
+    * ``"removed_only_by_simultaneous"`` — alerts the serial pipeline keeps
+      but Algorithm 3.1 removes.  Per the paper these "tend to indicate
+      failures in shared resources that were previously noticed by another
+      node" — mostly extra false positives, occasionally a coincident
+      independent failure (a lost true positive);
+    * ``"removed_only_by_serial"`` — alerts Algorithm 3.1 keeps but the
+      serial pipeline removes.  On a time-sorted stream this is provably
+      empty (the simultaneous suppression condition is strictly broader at
+      every step — see the containment property test), so a non-empty list
+      here flags an unsorted input.
+    """
+    simultaneous = list(log_filter(alerts, threshold))
+    serial = serial_filter_list(alerts, threshold)
+    sim_ids = {id(a) for a in simultaneous}
+    ser_ids = {id(a) for a in serial}
+    return {
+        "simultaneous": simultaneous,
+        "serial": serial,
+        "removed_only_by_simultaneous": [a for a in serial if id(a) not in sim_ids],
+        "removed_only_by_serial": [a for a in simultaneous if id(a) not in ser_ids],
+    }

@@ -1,0 +1,134 @@
+"""The alert tagger: applies expert rules to log records.
+
+This reproduces the paper's alert-identification process (Section 3.2):
+regular-expression rules, one per category, applied to each message; the
+first matching rule tags the message as an alert of that rule's category.
+Like ``logsurfer``, rules are ordered and first-match wins.
+
+The tagger is a single pass and never raises on corrupted input — the
+paper's Section 3.2.1 lists corruption among the challenges an automated
+scheme must survive.  Corrupted records can still be tagged when enough of
+the body remains for a pattern to match (a truncated VAPI line that kept
+its "Local Catastrophic Error" core is still a VAPI alert), which mirrors
+the manual process.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Pattern, Tuple
+
+from ..logmodel.record import LogRecord
+from .categories import Alert, CategoryDef, Ruleset
+
+
+class Tagger:
+    """A compiled expert ruleset, applied record-by-record.
+
+    Parameters
+    ----------
+    ruleset:
+        The ordered rules for one system.
+
+    Notes
+    -----
+    Compilation happens once here.  :meth:`tag` is the hot path: almost
+    every record in a real log matches *no* rule (Liberty: 2,452 alerts in
+    265 M messages), so the tagger first runs one combined
+    alternation regex as a reject filter, and only on a hit falls back to
+    the ordered scan that preserves logsurfer's first-rule-wins semantics
+    exactly (an alternation alone would implement earliest-*position*
+    match, which is a different priority rule).
+    """
+
+    def __init__(self, ruleset: Ruleset):
+        self.ruleset = ruleset
+        self._compiled: List[Tuple[Pattern[str], CategoryDef]] = [
+            (cat.compiled(), cat) for cat in ruleset
+        ]
+        self._prefilter: Optional[Pattern[str]] = None
+        if self._compiled:
+            self._prefilter = re.compile(
+                "|".join(f"(?:{cat.pattern})" for cat in ruleset)
+            )
+
+    def match(self, record: LogRecord) -> Optional[CategoryDef]:
+        """The first rule matching this record, or ``None``."""
+        text = record.full_text()
+        if self._prefilter is not None and self._prefilter.search(text) is None:
+            return None
+        for pattern, category in self._compiled:
+            if pattern.search(text):
+                return category
+        return None
+
+    def tag(self, record: LogRecord) -> Optional[Alert]:
+        """Tag one record; ``None`` when no rule matches (not an alert)."""
+        category = self.match(record)
+        if category is None:
+            return None
+        return Alert.from_record(record, category)
+
+    def tag_stream(self, records: Iterable[LogRecord]) -> Iterator[Alert]:
+        """Lazily tag a record stream, yielding only the alerts."""
+        for record in records:
+            alert = self.tag(record)
+            if alert is not None:
+                yield alert
+
+    def tag_stream_with_stats(
+        self, records: Iterable[LogRecord]
+    ) -> Iterator[Alert]:
+        """Like :meth:`tag_stream` but maintains :attr:`last_stats`.
+
+        ``last_stats`` maps ``"messages"`` / ``"alerts"`` / ``"corrupted"``
+        to running counts, letting callers report Table 2-style totals
+        without a second pass.
+        """
+        stats = {"messages": 0, "alerts": 0, "corrupted": 0}
+        self.last_stats: Dict[str, int] = stats
+        for record in records:
+            stats["messages"] += 1
+            if record.corrupted:
+                stats["corrupted"] += 1
+            alert = self.tag(record)
+            if alert is not None:
+                stats["alerts"] += 1
+                yield alert
+
+
+@dataclass(frozen=True)
+class TagCount:
+    """Per-category tally, one row of the paper's Table 4."""
+
+    category: str
+    alert_type: str
+    count: int
+
+
+def count_by_category(alerts: Iterable[Alert]) -> Dict[str, int]:
+    """Tally alerts per category tag."""
+    counts: Dict[str, int] = {}
+    for alert in alerts:
+        counts[alert.category] = counts.get(alert.category, 0) + 1
+    return counts
+
+
+def count_by_type(alerts: Iterable[Alert]) -> Dict[str, int]:
+    """Tally alerts per type code (H/S/I), one margin of Table 3."""
+    counts: Dict[str, int] = {}
+    for alert in alerts:
+        code = alert.alert_type.value
+        counts[code] = counts.get(code, 0) + 1
+    return counts
+
+
+def observed_categories(alerts: Iterable[Alert]) -> int:
+    """Number of distinct categories actually observed (Table 2 column).
+
+    The paper notes "the categories column indicates the number of
+    categories that were actually observed in each log" — a category with
+    zero occurrences does not count.
+    """
+    return len({alert.category for alert in alerts})

@@ -1,0 +1,69 @@
+"""Canonical log record model and parsers for the five machines' formats."""
+
+from .record import (
+    SYSTEM_NAMES,
+    Channel,
+    LogRecord,
+    RasSeverity,
+    SyslogSeverity,
+)
+from .syslog import (
+    SyslogParseError,
+    parse_syslog_line,
+    parse_syslog_stream,
+    render_syslog_line,
+)
+from .bgl import (
+    BglParseError,
+    parse_bgl_line,
+    parse_bgl_stream,
+    render_bgl_line,
+)
+from .redstorm import (
+    RedStormParseError,
+    parse_redstorm_line,
+    parse_redstorm_ras_line,
+    parse_redstorm_stream,
+    parse_redstorm_syslog_line,
+    render_redstorm_line,
+)
+from .anonymize import Pseudonymizer
+from .corruption import (
+    CorruptionKind,
+    CorruptionVerdict,
+    best_template_match,
+    classify_body,
+    classify_record,
+    common_prefix_length,
+    looks_garbled,
+)
+
+__all__ = [
+    "Pseudonymizer",
+    "SYSTEM_NAMES",
+    "Channel",
+    "LogRecord",
+    "RasSeverity",
+    "SyslogSeverity",
+    "SyslogParseError",
+    "parse_syslog_line",
+    "parse_syslog_stream",
+    "render_syslog_line",
+    "BglParseError",
+    "parse_bgl_line",
+    "parse_bgl_stream",
+    "render_bgl_line",
+    "RedStormParseError",
+    "parse_redstorm_line",
+    "parse_redstorm_ras_line",
+    "parse_redstorm_stream",
+    "parse_redstorm_syslog_line",
+    "render_redstorm_line",
+    "CorruptionKind",
+    "CorruptionVerdict",
+    "best_template_match",
+    "classify_body",
+    "classify_record",
+    "common_prefix_length",
+    "looks_garbled",
+]

@@ -1,0 +1,151 @@
+"""BG/L RAS event format.
+
+On Blue Gene/L, logging is managed by the Machine Management Control System
+(MMCS): compute chips store errors locally until polled over the JTAG
+mailbox (~1 ms polling period for the paper's logs), and the service-node
+MMCS process relays events to a centralized DB2 RAS database (paper,
+Section 3.1).  Events carry microsecond timestamps, a location string, a
+reporting facility, and a severity drawn from
+{FATAL, FAILURE, SEVERE, ERROR, WARNING, INFO} (paper, Table 5).
+
+We serialize RAS events as one line per event::
+
+    YYYY-MM-DD-HH.MM.SS.ffffff LOCATION RAS FACILITY SEVERITY message body
+
+which mirrors the flat export format of the BG/L RAS database.  ``LOCATION``
+is a hardware coordinate such as ``R02-M1-N0-C:J12-U11`` (rack, midplane,
+node card, chip), or ``NULL`` when the event has no attributable location —
+the paper's operational-context example message shows exactly such a
+``NULL`` location.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+import time
+from typing import Iterable, Iterator, Tuple
+
+from .record import Channel, LogRecord, RasSeverity
+
+_BGL_RE = re.compile(
+    r"^(?P<yy>\d{4})-(?P<mo>\d{2})-(?P<dd>\d{2})-"
+    r"(?P<hh>\d{2})\.(?P<mi>\d{2})\.(?P<ss>\d{2})\.(?P<us>\d{6}) "
+    r"(?P<loc>\S+) RAS (?P<fac>\S+) (?P<sev>\S+) (?P<body>.*)$"
+)
+
+_SEVERITY_LABELS = frozenset(sev.name for sev in RasSeverity)
+
+FACILITIES = (
+    "KERNEL",
+    "APP",
+    "DISCOVERY",
+    "MMCS",
+    "BGLMASTER",
+    "LINKCARD",
+    "MONITOR",
+    "HARDWARE",
+    "CMCS",
+    "SERV_NET",
+)
+"""RAS-reporting facilities observed in BG/L logs."""
+
+
+class BglParseError(ValueError):
+    """Raised in strict mode when a line is not a valid BG/L RAS event."""
+
+
+def parse_bgl_line(line: str, strict: bool = False) -> LogRecord:
+    """Parse one BG/L RAS event line.
+
+    In tolerant mode (default) malformed lines come back as records with
+    ``corrupted=True`` rather than raising: even "highly engineered RAS
+    systems, like BG/L", produce corrupted entries (paper, Section 3.2.1).
+    """
+    line = line.rstrip("\n")
+    match = _BGL_RE.match(line)
+    if match is None or match.group("sev") not in _SEVERITY_LABELS:
+        if strict:
+            raise BglParseError(f"not a BG/L RAS line: {line!r}")
+        return LogRecord(
+            timestamp=0.0,
+            source="",
+            facility="",
+            body=line,
+            system="bgl",
+            channel=Channel.JTAG_MAILBOX,
+            corrupted=True,
+            raw=line,
+        )
+    try:
+        year, month, day = (
+            int(match.group("yy")), int(match.group("mo")), int(match.group("dd")),
+        )
+        hh, mi, ss = (
+            int(match.group("hh")), int(match.group("mi")), int(match.group("ss")),
+        )
+        if not 1 <= month <= 12:
+            raise ValueError(f"month {month} out of range")
+        if not 1 <= day <= calendar.monthrange(year, month)[1]:
+            raise ValueError(f"day {day} out of range")
+        if hh > 23 or mi > 59 or ss > 60:
+            raise ValueError("time out of range")
+        base = calendar.timegm((year, month, day, hh, mi, ss, 0, 0, 0))
+    except ValueError:
+        if strict:
+            raise BglParseError(f"bad timestamp in: {line!r}") from None
+        return LogRecord(
+            timestamp=0.0,
+            source="",
+            facility="",
+            body=line,
+            system="bgl",
+            channel=Channel.JTAG_MAILBOX,
+            corrupted=True,
+            raw=line,
+        )
+    timestamp = base + int(match.group("us")) / 1e6
+    location = match.group("loc")
+    return LogRecord(
+        timestamp=timestamp,
+        source="" if location == "NULL" else location,
+        facility=match.group("fac"),
+        body=match.group("body"),
+        system="bgl",
+        severity=match.group("sev"),
+        channel=Channel.JTAG_MAILBOX,
+        corrupted=False,
+        raw=line,
+    )
+
+
+def render_bgl_line(record: LogRecord) -> str:
+    """Render a record in BG/L RAS export format (inverse of the parser)."""
+    if record.corrupted and record.raw is not None:
+        return record.raw
+    whole = int(record.timestamp)
+    micros = int(round((record.timestamp - whole) * 1e6))
+    if micros >= 1_000_000:  # float rounding pushed us to the next second
+        whole += 1
+        micros = 0
+    tm = _gmtime(whole)
+    stamp = "%04d-%02d-%02d-%02d.%02d.%02d.%06d" % (
+        tm[0], tm[1], tm[2], tm[3], tm[4], tm[5], micros,
+    )
+    location = record.source if record.source else "NULL"
+    severity = record.severity if record.severity else "INFO"
+    return f"{stamp} {location} RAS {record.facility} {severity} {record.body}"
+
+
+def _gmtime(epoch: int) -> Tuple[int, int, int, int, int, int]:
+    """UTC (year, month, day, hour, minute, second) for an epoch."""
+    parts = time.gmtime(epoch)
+    return (parts.tm_year, parts.tm_mon, parts.tm_mday,
+            parts.tm_hour, parts.tm_min, parts.tm_sec)
+
+
+def parse_bgl_stream(lines: Iterable[str]) -> Iterator[LogRecord]:
+    """Parse an iterable of BG/L RAS lines lazily, skipping blanks."""
+    for line in lines:
+        if line.strip():
+            yield parse_bgl_line(line)

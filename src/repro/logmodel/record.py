@@ -1,0 +1,172 @@
+"""Canonical log record model.
+
+Every subsystem in this library — the synthetic generators, the parsers for
+the five machines' native formats, the alert taggers, and the filters —
+speaks in terms of :class:`LogRecord`.  The paper studies logs that differ
+wildly in structure (BSD syslog on Thunderbird/Spirit/Liberty, DDN controller
+lines and RAS events on Red Storm, a DB2 RAS database on BG/L), so the
+canonical record keeps the union of fields and marks the ones a given format
+does not carry as ``None``.
+
+Timestamps are POSIX epoch seconds stored as ``float``.  Syslog has
+one-second granularity; BG/L's RAS database records microseconds (the paper,
+Section 3.1, notes "the time granularity for BG/L logs is down to the
+microsecond, unlike the one-second granularity of typical syslogs"), which a
+float represents exactly for the epochs involved.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class SyslogSeverity(enum.IntEnum):
+    """BSD syslog severity levels (RFC 3164), most severe first.
+
+    Only Red Storm among the Sandia machines stored syslog severities
+    (paper, Section 3.2); Thunderbird, Spirit, and Liberty did not record
+    this field at all.
+    """
+
+    EMERG = 0
+    ALERT = 1
+    CRIT = 2
+    ERR = 3
+    WARNING = 4
+    NOTICE = 5
+    INFO = 6
+    DEBUG = 7
+
+    @classmethod
+    def from_label(cls, label: str) -> "SyslogSeverity":
+        """Parse a severity label such as ``"crit"`` (case-insensitive)."""
+        try:
+            return cls[label.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown syslog severity label: {label!r}") from None
+
+
+class RasSeverity(enum.IntEnum):
+    """BG/L RAS event severities, most severe first (paper, Table 5)."""
+
+    FATAL = 0
+    FAILURE = 1
+    SEVERE = 2
+    ERROR = 3
+    WARNING = 4
+    INFO = 5
+
+    @classmethod
+    def from_label(cls, label: str) -> "RasSeverity":
+        """Parse a RAS severity label such as ``"FATAL"`` (case-insensitive)."""
+        try:
+            return cls[label.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown RAS severity label: {label!r}") from None
+
+
+class Channel(enum.Enum):
+    """The logging path a record traveled (paper, Section 3.1).
+
+    The five machines use three distinct transport architectures, and the
+    path matters: UDP syslog loses messages under contention, the Red Storm
+    RAS network uses reliable TCP, and BG/L compute chips buffer errors
+    locally until the JTAG mailbox poll collects them.
+    """
+
+    SYSLOG_UDP = "syslog-udp"
+    SYSLOG_LOCAL = "syslog-local"
+    RAS_TCP = "ras-tcp"
+    JTAG_MAILBOX = "jtag-mailbox"
+    DDN = "ddn"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log message, normalized across the five systems' formats.
+
+    Attributes
+    ----------
+    timestamp:
+        POSIX epoch seconds.  Fractional for BG/L (microsecond granularity);
+        whole seconds for syslog-based systems.
+    source:
+        The reporting component: a node name (``"sn373"``, ``"tbird-admin1"``),
+        a BG/L location string, or a DDN controller id.  May be an empty
+        string when the source field was corrupted in transit — the paper's
+        Figure 2(b) shows a cluster of messages "whose source field was
+        corrupted, thwarting attribution".
+    facility:
+        The reporting program or subsystem (``"kernel"``, ``"pbs_mom"``,
+        ``"ciod"``, ``"MMCS"``...).  Empty when unknown.
+    body:
+        The unstructured message body.
+    system:
+        Which supercomputer produced the record (``"bgl"``, ``"thunderbird"``,
+        ``"redstorm"``, ``"spirit"``, ``"liberty"``).
+    severity:
+        Severity label as recorded, or ``None`` when the format does not
+        carry one (Thunderbird/Spirit/Liberty syslogs).  Stored as the raw
+        string label; use :meth:`syslog_severity` / :meth:`ras_severity` for
+        the typed view.
+    channel:
+        Which logging path the record traveled.
+    corrupted:
+        ``True`` when the generator injected corruption or a parser detected
+        structural damage (truncation, splice, garbled fields).
+    raw:
+        The original unparsed line when the record came from a parser, else
+        ``None``.
+    """
+
+    timestamp: float
+    source: str
+    facility: str
+    body: str
+    system: str = ""
+    severity: Optional[str] = None
+    channel: Channel = Channel.SYSLOG_UDP
+    corrupted: bool = False
+    raw: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.timestamp, (int, float)):
+            raise TypeError(f"timestamp must be a number, got {type(self.timestamp).__name__}")
+
+    def syslog_severity(self) -> Optional[SyslogSeverity]:
+        """The severity as a syslog level, or ``None`` if absent/foreign."""
+        if self.severity is None:
+            return None
+        try:
+            return SyslogSeverity.from_label(self.severity)
+        except ValueError:
+            return None
+
+    def ras_severity(self) -> Optional[RasSeverity]:
+        """The severity as a BG/L RAS level, or ``None`` if absent/foreign."""
+        if self.severity is None:
+            return None
+        try:
+            return RasSeverity.from_label(self.severity)
+        except ValueError:
+            return None
+
+    def with_corruption(self, body: str, source: Optional[str] = None) -> "LogRecord":
+        """A copy of this record with damaged fields and ``corrupted=True``."""
+        fields = {"body": body, "corrupted": True}
+        if source is not None:
+            fields["source"] = source
+        return replace(self, **fields)
+
+    def full_text(self) -> str:
+        """The facility-prefixed body, as it would appear after the hostname
+        in a syslog line.  This is the string expert rules match against."""
+        if self.facility:
+            return f"{self.facility}: {self.body}"
+        return self.body
+
+
+SYSTEM_NAMES = ("bgl", "thunderbird", "redstorm", "spirit", "liberty")
+"""Canonical short names for the five machines, in the paper's Table 1 order."""

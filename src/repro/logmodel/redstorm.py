@@ -1,0 +1,201 @@
+"""Red Storm log formats.
+
+Red Storm has several logging paths (paper, Section 3.1):
+
+* **DDN path** — disk and RAID controller messages from the DDN subsystem
+  travel a 100 Mbit network to a DDN-specific RAS machine running
+  ``syslog-ng``.  These appear as syslog lines whose body starts with a DDN
+  message code (``DMT_HINT``, ``DMT_310``, ``DMT_DINT``, ...).
+* **Linux-node path** — login, Lustre I/O, and management nodes send
+  ordinary syslog to a collector node.  Red Storm is the only Sandia system
+  configured to *store* syslog severity (paper, Section 3.2), so its on-disk
+  syslog format carries an explicit severity column::
+
+      Mmm dd HH:MM:SS host SEVERITY facility: message body
+
+* **RAS TCP path** — compute nodes, SeaStar NICs, and hierarchical
+  management nodes send events over reliable TCP to the System Management
+  Workstation (SMW).  This path "is not syslog and has no severity analog"
+  (paper, Section 3.2).  Event lines look like::
+
+      YYYY-MM-DD HH:MM:SS event_code src:::NODE svc:::NODE message body
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+import time
+from typing import Iterable, Iterator
+
+from .record import Channel, LogRecord, SyslogSeverity
+from .syslog import _FACILITY_RE, _MONTHS
+
+_RS_SYSLOG_RE = re.compile(
+    r"^(?P<mon>[A-Z][a-z]{2}) {1,2}(?P<day>\d{1,2}) "
+    r"(?P<hh>\d{2}):(?P<mm>\d{2}):(?P<ss>\d{2}) "
+    r"(?P<host>\S+) "
+    r"(?P<sev>EMERG|ALERT|CRIT|ERR|WARNING|NOTICE|INFO|DEBUG) "
+    r"(?P<rest>.*)$"
+)
+
+_RS_RAS_RE = re.compile(
+    r"^(?P<yy>\d{4})-(?P<mo>\d{2})-(?P<dd>\d{2}) "
+    r"(?P<hh>\d{2}):(?P<mm>\d{2}):(?P<ss>\d{2}) "
+    r"(?P<event>\S+) src:::(?P<src>\S*) svc:::(?P<svc>\S*)\s?(?P<body>.*)$"
+)
+
+
+class RedStormParseError(ValueError):
+    """Raised in strict mode when a line matches no Red Storm format."""
+
+
+def _corrupt_record(line: str, channel: Channel) -> LogRecord:
+    return LogRecord(
+        timestamp=0.0,
+        source="",
+        facility="",
+        body=line,
+        system="redstorm",
+        channel=channel,
+        corrupted=True,
+        raw=line,
+    )
+
+
+def parse_redstorm_syslog_line(line: str, year: int, strict: bool = False) -> LogRecord:
+    """Parse a severity-bearing Red Storm syslog line (DDN or Linux node)."""
+    line = line.rstrip("\n")
+    match = _RS_SYSLOG_RE.match(line)
+    if match is None:
+        if strict:
+            raise RedStormParseError(f"not a Red Storm syslog line: {line!r}")
+        return _corrupt_record(line, Channel.SYSLOG_UDP)
+    mon = _MONTHS.get(match.group("mon"))
+    if mon is None:
+        if strict:
+            raise RedStormParseError(f"bad month in: {line!r}")
+        return _corrupt_record(line, Channel.SYSLOG_UDP)
+    try:
+        timestamp = float(
+            calendar.timegm(
+                (
+                    year,
+                    mon,
+                    int(match.group("day")),
+                    int(match.group("hh")),
+                    int(match.group("mm")),
+                    int(match.group("ss")),
+                    0,
+                    0,
+                    0,
+                )
+            )
+        )
+    except ValueError:
+        if strict:
+            raise RedStormParseError(f"bad timestamp in: {line!r}") from None
+        return _corrupt_record(line, Channel.SYSLOG_UDP)
+    rest = match.group("rest")
+    if rest.startswith("DMT_"):
+        # DDN controller message: the DMT_* code is part of the body, not
+        # a syslog facility ("DMT_HINT Warning: ..." must stay whole).
+        facility, body = "", rest
+        channel = Channel.DDN
+    else:
+        fac_match = _FACILITY_RE.match(rest)
+        if fac_match is not None:
+            facility, body = fac_match.group("fac"), fac_match.group("body")
+        else:
+            facility, body = "", rest
+        channel = Channel.SYSLOG_UDP
+    return LogRecord(
+        timestamp=timestamp,
+        source=match.group("host"),
+        facility=facility,
+        body=body,
+        system="redstorm",
+        severity=match.group("sev"),
+        channel=channel,
+        corrupted=False,
+        raw=line,
+    )
+
+
+def parse_redstorm_ras_line(line: str, strict: bool = False) -> LogRecord:
+    """Parse a Red Storm RAS (TCP/SMW) event line.  No severity field."""
+    line = line.rstrip("\n")
+    match = _RS_RAS_RE.match(line)
+    if match is None:
+        if strict:
+            raise RedStormParseError(f"not a Red Storm RAS line: {line!r}")
+        return _corrupt_record(line, Channel.RAS_TCP)
+    try:
+        timestamp = float(
+            calendar.timegm(
+                (
+                    int(match.group("yy")),
+                    int(match.group("mo")),
+                    int(match.group("dd")),
+                    int(match.group("hh")),
+                    int(match.group("mm")),
+                    int(match.group("ss")),
+                    0,
+                    0,
+                    0,
+                )
+            )
+        )
+    except ValueError:
+        if strict:
+            raise RedStormParseError(f"bad timestamp in: {line!r}") from None
+        return _corrupt_record(line, Channel.RAS_TCP)
+    body = f"src:::{match.group('src')} svc:::{match.group('svc')}"
+    trailing = match.group("body")
+    if trailing:
+        body = f"{body} {trailing}"
+    return LogRecord(
+        timestamp=timestamp,
+        source=match.group("src"),
+        facility=match.group("event"),
+        body=body,
+        system="redstorm",
+        severity=None,
+        channel=Channel.RAS_TCP,
+        corrupted=False,
+        raw=line,
+    )
+
+
+def parse_redstorm_line(line: str, year: int, strict: bool = False) -> LogRecord:
+    """Dispatch a line to the matching Red Storm format parser."""
+    if _RS_RAS_RE.match(line):
+        return parse_redstorm_ras_line(line, strict=strict)
+    return parse_redstorm_syslog_line(line, year, strict=strict)
+
+
+def render_redstorm_line(record: LogRecord) -> str:
+    """Render a record in the on-disk format matching its channel."""
+    if record.corrupted and record.raw is not None:
+        return record.raw
+    tm = time.gmtime(record.timestamp)
+    if record.channel is Channel.RAS_TCP:
+        stamp = "%04d-%02d-%02d %02d:%02d:%02d" % (
+            tm.tm_year, tm.tm_mon, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+        )
+        # Facility holds the event code; body embeds the src:::/svc::: fields.
+        return f"{stamp} {record.facility} {record.body}"
+    stamp = "%s %2d %02d:%02d:%02d" % (
+        calendar.month_abbr[tm.tm_mon], tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+    )
+    severity = record.severity if record.severity else SyslogSeverity.INFO.name
+    if record.facility:
+        return f"{stamp} {record.source} {severity} {record.facility}: {record.body}"
+    return f"{stamp} {record.source} {severity} {record.body}"
+
+
+def parse_redstorm_stream(lines: Iterable[str], year: int) -> Iterator[LogRecord]:
+    """Parse an iterable of mixed Red Storm lines lazily, skipping blanks."""
+    for line in lines:
+        if line.strip():
+            yield parse_redstorm_line(line, year)

@@ -1,0 +1,187 @@
+"""BSD syslog line parsing and rendering.
+
+Thunderbird, Spirit, and Liberty generate their logs through ``syslog-ng``
+(paper, Section 3.1): each node writes classic BSD-syslog lines which are
+forwarded over UDP to a central logging server.  The on-disk format is::
+
+    Mmm dd HH:MM:SS hostname facility[pid]: message body
+
+BSD syslog timestamps carry no year and have one-second granularity, so
+parsing requires a reference year.  Because UDP forwarding loses and mangles
+messages under contention, the parser never raises on malformed input in
+tolerant mode — it produces a best-effort :class:`~repro.logmodel.record.LogRecord`
+with ``corrupted=True``, mirroring how the paper had to cope with truncated
+and spliced lines (Section 3.2.1, "Corruption").
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+import time
+from typing import Iterable, Iterator
+
+from .record import Channel, LogRecord
+
+_MONTHS = {abbr: i for i, abbr in enumerate(calendar.month_abbr) if abbr}
+
+_SYSLOG_RE = re.compile(
+    r"^(?P<mon>[A-Z][a-z]{2}) {1,2}(?P<day>\d{1,2}) "
+    r"(?P<hh>\d{2}):(?P<mm>\d{2}):(?P<ss>\d{2}) "
+    r"(?P<host>\S+) "
+    r"(?P<rest>.*)$"
+)
+
+_FACILITY_RE = re.compile(r"^(?P<fac>[A-Za-z_][\w.\-/ ]{0,40}?)(?:\[(?P<pid>\d+)\])?: (?P<body>.*)$")
+
+
+class SyslogParseError(ValueError):
+    """Raised in strict mode when a line is not valid BSD syslog."""
+
+
+def _epoch(year: int, mon: int, day: int, hh: int, mm: int, ss: int) -> float:
+    """Epoch seconds for a local-naive UTC timestamp.
+
+    Syslog analysis conventionally treats log timestamps as a monotone
+    counter rather than wall-clock in a specific zone; we fix UTC so results
+    are machine-independent.  Out-of-range fields raise ``ValueError``
+    (``calendar.timegm`` would silently normalize a "Feb 31").
+    """
+    if not (1 <= day <= calendar.monthrange(year, mon)[1]):
+        raise ValueError(f"day {day} out of range for {year}-{mon:02d}")
+    if hh > 23 or mm > 59 or ss > 60:  # :60 allows leap seconds
+        raise ValueError(f"time {hh:02d}:{mm:02d}:{ss:02d} out of range")
+    return float(calendar.timegm((year, mon, day, hh, mm, ss, 0, 0, 0)))
+
+
+def parse_syslog_line(
+    line: str,
+    year: int,
+    system: str = "",
+    strict: bool = False,
+) -> LogRecord:
+    """Parse one BSD syslog line into a :class:`LogRecord`.
+
+    Parameters
+    ----------
+    line:
+        The raw line, without trailing newline.
+    year:
+        Reference year (BSD syslog timestamps omit it).
+    system:
+        Short machine name to stamp on the record.
+    strict:
+        When ``True``, raise :class:`SyslogParseError` on malformed lines.
+        When ``False`` (the default), return a best-effort record flagged
+        ``corrupted=True`` — the behaviour a production pipeline needs.
+    """
+    line = line.rstrip("\n")
+    match = _SYSLOG_RE.match(line)
+    if match is None:
+        if strict:
+            raise SyslogParseError(f"not a syslog line: {line!r}")
+        return LogRecord(
+            timestamp=0.0,
+            source="",
+            facility="",
+            body=line,
+            system=system,
+            channel=Channel.SYSLOG_UDP,
+            corrupted=True,
+            raw=line,
+        )
+
+    mon = _MONTHS.get(match.group("mon"))
+    if mon is None:
+        if strict:
+            raise SyslogParseError(f"bad month in: {line!r}")
+        mon, damaged = 1, True
+    else:
+        damaged = False
+
+    try:
+        timestamp = _epoch(
+            year,
+            mon,
+            int(match.group("day")),
+            int(match.group("hh")),
+            int(match.group("mm")),
+            int(match.group("ss")),
+        )
+    except (ValueError, OverflowError):
+        if strict:
+            raise SyslogParseError(f"bad timestamp in: {line!r}") from None
+        timestamp, damaged = 0.0, True
+
+    rest = match.group("rest")
+    fac_match = _FACILITY_RE.match(rest)
+    if fac_match is not None:
+        facility = fac_match.group("fac")
+        body = fac_match.group("body")
+    else:
+        facility = ""
+        body = rest
+
+    return LogRecord(
+        timestamp=timestamp,
+        source=match.group("host"),
+        facility=facility,
+        body=body,
+        system=system,
+        channel=Channel.SYSLOG_UDP,
+        corrupted=damaged,
+        raw=line,
+    )
+
+
+def render_syslog_line(record: LogRecord) -> str:
+    """Render a record back to BSD syslog format.
+
+    For clean records this is the inverse of :func:`parse_syslog_line`
+    (modulo the year, which the format cannot carry).  Corrupted records
+    render their raw line verbatim when one is attached, since re-rendering
+    damaged fields would fabricate structure that was never on the wire.
+    """
+    if record.corrupted and record.raw is not None:
+        return record.raw
+    parts = time.gmtime(record.timestamp)
+    stamp = "%s %2d %02d:%02d:%02d" % (
+        calendar.month_abbr[parts.tm_mon],
+        parts.tm_mday,
+        parts.tm_hour,
+        parts.tm_min,
+        parts.tm_sec,
+    )
+    if record.facility:
+        return f"{stamp} {record.source} {record.facility}: {record.body}"
+    return f"{stamp} {record.source} {record.body}"
+
+
+def parse_syslog_stream(
+    lines: Iterable[str],
+    year: int,
+    system: str = "",
+) -> Iterator[LogRecord]:
+    """Parse an iterable of syslog lines lazily, skipping blank lines.
+
+    Year rollover is handled the way syslog daemons do: if a parsed
+    timestamp jumps backwards by more than half a year relative to the
+    previous record, the year is assumed to have incremented.
+    """
+    current_year = year
+    previous = None
+    half_year = 182 * 86400.0
+    for line in lines:
+        if not line.strip():
+            continue
+        record = parse_syslog_line(line, current_year, system=system)
+        if (
+            previous is not None
+            and not record.corrupted
+            and previous - record.timestamp > half_year
+        ):
+            current_year += 1
+            record = parse_syslog_line(line, current_year, system=system)
+        if not record.corrupted:
+            previous = record.timestamp
+        yield record

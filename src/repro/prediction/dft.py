@@ -1,0 +1,149 @@
+"""The Dispersion Frame Technique (Lin & Siewiorek).
+
+The paper's related work cites Lin & Siewiorek's "Error log analysis:
+statistical modeling and heuristic trend analysis" [11], whose Dispersion
+Frame Technique (DFT) is the classic heuristic for predicting hardware
+failure from accelerating error interarrivals.  DFT observes that
+intermittent errors cluster increasingly tightly before a permanent
+failure, and fires on any of five rules over the last few error times.
+
+Definitions, following the original: the *i*-th **dispersion frame** is
+the interarrival time between error *i* and error *i-1*; a frame is
+applied as a window centered successively on previous errors, and the
+technique counts how many errors fall inside.  The rules (as commonly
+stated):
+
+* **3.3 rule** — two consecutive frames each contain >= 3 errors in half
+  the frame;
+* **2-in-1 rule** — a frame (window = previous interarrival) contains two
+  errors;
+* **4-in-1 rule** — four errors within one frame of 24 hours;
+* **4 decreasing** — four monotonically decreasing frames, and at least
+  one halving step;
+* **2-of-4 rule** — two of the last four frames under one hour.
+
+Our implementation evaluates the rules per (source, category) pair, since
+DFT models per-device degradation — exactly the ECC-style categories the
+paper found to behave like physical processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import Predictor, Warning_
+from .features import AlertHistory
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class DftFiring:
+    """One DFT rule activation."""
+
+    t: float
+    source: str
+    rule: str
+
+
+def _rules_fire(times: Sequence[float]) -> Optional[str]:
+    """Evaluate the DFT rules on a device's recent error times.
+
+    ``times`` must be ascending; the decision uses up to the last five
+    errors (four frames).  Returns the first firing rule's name or
+    ``None``.
+    """
+    if len(times) < 2:
+        return None
+    frames = [
+        times[i] - times[i - 1] for i in range(len(times) - 3, len(times))
+        if i >= 1
+    ]
+    # frames[-1] is the newest interarrival.
+    newest = frames[-1]
+
+    # 2-in-1: the newest interarrival is under half the previous frame.
+    if len(frames) >= 2 and newest <= frames[-2] / 2:
+        return "2-in-1"
+
+    # 4-in-1: four errors inside 24 hours.
+    if len(times) >= 4 and times[-1] - times[-4] <= DAY:
+        return "4-in-1"
+
+    # 2-of-4: two of the last four frames under one hour.
+    if len(frames) >= 2 and sum(1 for f in frames[-4:] if f < HOUR) >= 2:
+        return "2-of-4"
+
+    # 4 decreasing: monotone shrink across four frames with a halving.
+    if len(frames) >= 3:
+        last = frames[-3:]
+        if all(b < a for a, b in zip(last, last[1:])) and last[-1] <= last[0] / 2:
+            return "4-decreasing"
+
+    # 3.3 rule: two successive frames each holding >= 3 errors needs
+    # denser bookkeeping; approximate with 6 errors inside two newest
+    # frames' span.
+    if len(times) >= 6:
+        span = max(newest, 1e-9) * 2
+        if times[-1] - times[-6] <= span:
+            return "3.3"
+    return None
+
+
+def dft_scan(
+    events: Sequence[Tuple[float, str]],
+    min_history: int = 2,
+    refractory: float = 12 * HOUR,
+) -> List[DftFiring]:
+    """Scan (time, source) error events and report DFT firings.
+
+    One firing per source per ``refractory`` period: DFT is a replacement
+    advisory, not a pager.
+    """
+    by_source: Dict[str, List[float]] = {}
+    last_fired: Dict[str, float] = {}
+    firings: List[DftFiring] = []
+    for t, source in sorted(events):
+        history = by_source.setdefault(source, [])
+        history.append(t)
+        if len(history) < min_history:
+            continue
+        if source in last_fired and t - last_fired[source] < refractory:
+            continue
+        rule = _rules_fire(history[-6:])
+        if rule is not None:
+            last_fired[source] = t
+            firings.append(DftFiring(t=t, source=source, rule=rule))
+    return firings
+
+
+class DftPredictor(Predictor):
+    """DFT wrapped in the ensemble's :class:`Predictor` interface.
+
+    Warnings are per-device degradation advisories for the target
+    category.  Training is a no-op (DFT is parameter-free); the value of
+    including it in the ensemble is that validation scoring routes only
+    physically-degrading categories to it.
+    """
+
+    def __init__(self, target: str, refractory: float = 12 * HOUR):
+        self.target = target
+        self.refractory = refractory
+
+    def train(self, history: AlertHistory, t0: float, t1: float) -> None:
+        """Parameter-free heuristic; nothing to fit."""
+
+    def warnings(
+        self, history: AlertHistory, t0: float, t1: float
+    ) -> List[Warning_]:
+        events = [
+            (alert.timestamp, alert.source)
+            for alert in history.alerts
+            if alert.category == self.target and t0 <= alert.timestamp < t1
+        ]
+        return [
+            Warning_(firing.t, self.target, 1.0)
+            for firing in dft_scan(events, refractory=self.refractory)
+        ]

@@ -1,0 +1,142 @@
+"""The per-category predictor ensemble (the paper's Section 5 proposal).
+
+"Event prediction efforts should produce an ensemble of predictors, each
+specializing in one or more categories" (Section 1); "predictors should
+specialize in sets of failures with similar predictive behaviors"
+(Section 5).  The ensemble trains every candidate predictor per target
+category on a training span, scores each on a validation span, and routes
+each category to its best candidate — falling back to silence for
+categories nothing predicts well (a predictor that cries wolf is worse
+than none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .base import PredictionScore, Predictor, Warning_, evaluate
+from .dft import DftPredictor
+from .features import AlertHistory
+from .predictors import BurstPredictor, PrecursorPredictor, SeverityPredictor
+
+#: A factory building a fresh predictor for a target category.
+PredictorFactory = Callable[[str], Predictor]
+
+DEFAULT_FACTORIES: Dict[str, PredictorFactory] = {
+    "burst": lambda target: BurstPredictor(target),
+    "severity": lambda target: SeverityPredictor(target),
+    "precursor": lambda target: PrecursorPredictor(target),
+    "dft": lambda target: DftPredictor(target),
+}
+
+
+@dataclass
+class EnsembleMember:
+    """The chosen specialist for one category."""
+
+    category: str
+    kind: str
+    predictor: Predictor
+    validation: PredictionScore
+
+
+@dataclass
+class PredictorEnsemble:
+    """Trains and routes per-category specialists.
+
+    Parameters
+    ----------
+    factories:
+        Candidate predictor families by name (default: burst, severity,
+        precursor).
+    min_f1:
+        Validation F1 below which a category gets *no* predictor — the
+    "some failure types have no predictive signature" case (Section 1:
+        "different categories of failures have different predictive
+        signatures (if any)").
+    lead_min / lead_max:
+        The actionable lead window used for scoring.
+    """
+
+    factories: Dict[str, PredictorFactory] = field(
+        default_factory=lambda: dict(DEFAULT_FACTORIES)
+    )
+    min_f1: float = 0.2
+    min_failures: int = 4
+    lead_min: float = 10.0
+    lead_max: float = 3600.0
+    members: Dict[str, EnsembleMember] = field(default_factory=dict)
+
+    def fit(
+        self,
+        history: AlertHistory,
+        train_span: "tuple[float, float]",
+        validation_span: "tuple[float, float]",
+        categories: Optional[Sequence[str]] = None,
+    ) -> "PredictorEnsemble":
+        """Select the best candidate per category on validation F1."""
+        self.members = {}
+        targets = list(categories) if categories else history.categories
+        for target in targets:
+            v_failures = [
+                t
+                for t in history.category_times(target)
+                if validation_span[0] <= t < validation_span[1]
+            ]
+            if len(v_failures) < self.min_failures:
+                continue
+            best: Optional[EnsembleMember] = None
+            for kind, factory in self.factories.items():
+                predictor = factory(target)
+                predictor.train(history, *train_span)
+                warnings = predictor.warnings(history, *validation_span)
+                score = evaluate(
+                    warnings, v_failures, target,
+                    lead_min=self.lead_min, lead_max=self.lead_max,
+                )
+                if best is None or score.f1 > best.validation.f1:
+                    best = EnsembleMember(target, kind, predictor, score)
+            if best is not None and best.validation.f1 >= self.min_f1:
+                self.members[target] = best
+        return self
+
+    def warnings(
+        self, history: AlertHistory, t0: float, t1: float
+    ) -> List[Warning_]:
+        """All specialists' warnings over a span, time-ordered."""
+        out: List[Warning_] = []
+        for member in self.members.values():
+            out.extend(member.predictor.warnings(history, t0, t1))
+        out.sort(key=lambda w: w.t)
+        return out
+
+    def score(
+        self, history: AlertHistory, t0: float, t1: float
+    ) -> Dict[str, PredictionScore]:
+        """Per-category evaluation over a test span."""
+        scores: Dict[str, PredictionScore] = {}
+        for target, member in self.members.items():
+            failures = [
+                t for t in history.category_times(target) if t0 <= t < t1
+            ]
+            warnings = member.predictor.warnings(history, t0, t1)
+            scores[target] = evaluate(
+                warnings, failures, target,
+                lead_min=self.lead_min, lead_max=self.lead_max,
+            )
+        return scores
+
+    def summary(self) -> str:
+        lines = ["Ensemble members (category -> specialist):"]
+        for target in sorted(self.members):
+            member = self.members[target]
+            lines.append(
+                f"  {target:<12} {member.kind:<10} "
+                f"val P={member.validation.precision:.2f} "
+                f"R={member.validation.recall:.2f} "
+                f"F1={member.validation.f1:.2f}"
+            )
+        if not self.members:
+            lines.append("  (none cleared the F1 bar)")
+        return "\n".join(lines)

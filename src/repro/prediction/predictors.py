@@ -1,0 +1,182 @@
+"""Concrete failure predictors: the single-feature baselines and the
+precursor learner.
+
+The paper's critique (Section 4): "previous prediction approaches focused
+on single features for detecting all failure types (e.g. severity levels
+or message bursts)."  Both of those single-feature baselines are here —
+:class:`BurstPredictor` (message bursts) and :class:`SeverityPredictor`
+(high-severity messages) — alongside :class:`PrecursorPredictor`, which
+learns per-target precursor categories, the per-class specialization the
+paper recommends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .base import Predictor, Warning_
+from .features import AlertHistory
+
+
+def _dedupe(warnings: List[Warning_], refractory: float) -> List[Warning_]:
+    """Suppress warnings within ``refractory`` seconds of the previous one
+    (an un-throttled predictor spams the operator during every burst)."""
+    out: List[Warning_] = []
+    last: Optional[float] = None
+    for warning in sorted(warnings, key=lambda w: w.t):
+        if last is None or warning.t - last >= refractory:
+            out.append(warning)
+            last = warning.t
+    return out
+
+
+class BurstPredictor(Predictor):
+    """Warn when total alert traffic bursts (the message-burst feature).
+
+    Training estimates the background alert rate; prediction fires when a
+    trailing window holds ``sigma`` times more alerts than the trained
+    expectation.  Deliberately category-blind — that is the point of the
+    baseline.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        window: float = 600.0,
+        sigma: float = 4.0,
+        refractory: float = 1800.0,
+    ):
+        self.target = target
+        self.window = window
+        self.sigma = sigma
+        self.refractory = refractory
+        self._expected_per_window = 0.0
+
+    def train(self, history: AlertHistory, t0: float, t1: float) -> None:
+        span = max(t1 - t0, 1.0)
+        total = history.count_between(t0, t1)
+        self._expected_per_window = total * self.window / span
+
+    def warnings(
+        self, history: AlertHistory, t0: float, t1: float
+    ) -> List[Warning_]:
+        threshold = max(3.0, self._expected_per_window * self.sigma)
+        out: List[Warning_] = []
+        # Evaluate at each alert arrival (bursts only begin at alerts).
+        for alert in history.alerts:
+            if not (t0 <= alert.timestamp < t1):
+                continue
+            count = history.count_between(
+                alert.timestamp - self.window, alert.timestamp
+            )
+            if count >= threshold:
+                out.append(
+                    Warning_(alert.timestamp, self.target, float(count))
+                )
+        return _dedupe(out, self.refractory)
+
+
+class SeverityPredictor(Predictor):
+    """Warn on any high-severity message (the severity-level feature).
+
+    The weakest baseline on machines that do not record severity — it then
+    never warns at all, which is the paper's Table 5/6 point transplanted
+    into prediction.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        alert_labels: Sequence[str] = ("FATAL", "FAILURE", "EMERG", "ALERT", "CRIT"),
+        refractory: float = 1800.0,
+    ):
+        self.target = target
+        self.alert_labels = frozenset(alert_labels)
+        self.refractory = refractory
+
+    def train(self, history: AlertHistory, t0: float, t1: float) -> None:
+        """Stateless baseline; nothing to fit."""
+
+    def warnings(
+        self, history: AlertHistory, t0: float, t1: float
+    ) -> List[Warning_]:
+        out = [
+            Warning_(alert.timestamp, self.target, 1.0)
+            for alert in history.alerts
+            if t0 <= alert.timestamp < t1
+            and alert.record.severity in self.alert_labels
+        ]
+        return _dedupe(out, self.refractory)
+
+
+class PrecursorPredictor(Predictor):
+    """Learn which categories precede the target, then warn on them.
+
+    Training measures, for every candidate category, the *lift*: how much
+    more likely a target failure is within ``lead`` seconds after a
+    candidate alert than at a random moment.  Candidates whose lift clears
+    ``min_lift`` (and fire at least ``min_support`` times before failures)
+    become precursors; prediction warns whenever a precursor fires.
+
+    This is the per-category specialization of Section 4: different
+    failure classes get different predictive signatures — or none, in
+    which case this predictor stays silent rather than guessing.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        lead: float = 3600.0,
+        min_lift: float = 3.0,
+        min_support: int = 3,
+        refractory: float = 900.0,
+    ):
+        self.target = target
+        self.lead = lead
+        self.min_lift = min_lift
+        self.min_support = min_support
+        self.refractory = refractory
+        self.precursors: Dict[str, float] = {}
+
+    def train(self, history: AlertHistory, t0: float, t1: float) -> None:
+        span = max(t1 - t0, 1.0)
+        target_times = [
+            t for t in history.category_times(self.target) if t0 <= t < t1
+        ]
+        base_rate = len(target_times) / span  # failures per second
+        self.precursors = {}
+        if not target_times or base_rate <= 0:
+            return
+        for category in history.categories:
+            if category == self.target:
+                continue
+            cand_times = [
+                t for t in history.category_times(category) if t0 <= t < t1
+            ]
+            if not cand_times:
+                continue
+            hits = 0
+            for ct in cand_times:
+                followed = history.category_count_between(
+                    self.target, ct, ct + self.lead
+                )
+                if followed > 0:
+                    hits += 1
+            hit_rate = hits / len(cand_times)
+            expected = min(1.0, base_rate * self.lead)
+            lift = hit_rate / expected if expected > 0 else 0.0
+            if hits >= self.min_support and lift >= self.min_lift:
+                self.precursors[category] = lift
+
+    def warnings(
+        self, history: AlertHistory, t0: float, t1: float
+    ) -> List[Warning_]:
+        if not self.precursors:
+            return []
+        out = [
+            Warning_(alert.timestamp, self.target,
+                     self.precursors[alert.category])
+            for alert in history.alerts
+            if t0 <= alert.timestamp < t1 and alert.category in self.precursors
+        ]
+        return _dedupe(out, self.refractory)

@@ -1,0 +1,110 @@
+"""Plain-text table and chart primitives for the reporting layer.
+
+Everything the benches print goes through these helpers so all tables
+share one look: left-aligned text columns, right-aligned numerics, Unicode
+block bars for magnitude columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def format_int(value: int) -> str:
+    """Thousands-separated integer."""
+    return f"{value:,}"
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    return f"{value:,.{digits}f}"
+
+
+def format_pct(value: float, digits: int = 2) -> str:
+    """A percentage with a trailing %, e.g. 98.04%."""
+    return f"{value:.{digits}f}%"
+
+
+def bar(value: float, maximum: float, width: int = 30) -> str:
+    """A horizontal bar of ``width`` cells proportional to value/maximum."""
+    if maximum <= 0 or value <= 0:
+        return ""
+    fraction = min(1.0, value / maximum)
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * (len(_BLOCKS) - 1))] if full < width else ""
+    return "█" * full + partial
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    title: Optional[str] = None,
+    align_left: Sequence[int] = (0,),
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    ``align_left`` lists the column indices that are text (left-aligned);
+    all other columns right-align, which is right for numbers.
+    """
+    materialized: List[List[str]] = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    left = set(align_left)
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i in left:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """A one-line sparkline resampled to ``width`` characters."""
+    if not values:
+        return ""
+    ticks = "▁▂▃▄▅▆▇█"
+    n = len(values)
+    resampled = []
+    for i in range(min(width, n)):
+        lo = i * n // min(width, n)
+        hi = max(lo + 1, (i + 1) * n // min(width, n))
+        resampled.append(max(values[lo:hi]))
+    peak = max(resampled)
+    if peak <= 0:
+        return "▁" * len(resampled)
+    return "".join(ticks[min(len(ticks) - 1, int(v / peak * (len(ticks) - 1)))]
+                   for v in resampled)
+
+
+def histogram_rows(
+    labels: Sequence[str],
+    counts: Sequence[float],
+    width: int = 40,
+) -> List[str]:
+    """Label + bar + count rows for a histogram rendering."""
+    peak = max(counts) if counts else 0
+    label_width = max((len(label) for label in labels), default=0)
+    rows = []
+    for label, count in zip(labels, counts):
+        rows.append(
+            f"{label.rjust(label_width)} |{bar(count, peak, width).ljust(width)}| "
+            f"{format_int(int(count))}"
+        )
+    return rows

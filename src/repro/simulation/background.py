@@ -1,0 +1,151 @@
+"""Non-alert background traffic templates.
+
+The overwhelming majority of log messages are not alerts (on Liberty,
+2452 alerts among 265 million messages), and "the logs are fraught with
+messages that indicate nothing useful at all" (paper, Section 3.2.1).
+These pools supply that chaff per system — and, for the machines that
+record severity, per severity level, because the paper's central severity
+finding (Tables 5 and 6) is that *high-severity non-alerts are plentiful*:
+over half a million BG/L messages carry FATAL severity without being
+alerts, while actual alerts hide among CRIT/ERR/INFO on Red Storm.
+
+Every template here is checked by the test suite against every expert rule
+of its system: background must never be taggable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..logmodel.record import Channel
+
+#: (facility, body) pairs.
+Pool = Tuple[Tuple[str, str], ...]
+
+#: Generic syslog chaff for Thunderbird, Spirit, and Liberty.
+SYSLOG_POOL: Pool = (
+    ("sshd", "session opened for user root by (uid=0)"),
+    ("sshd", "Accepted publickey for root from 10.0.0.2 port 42512 ssh2"),
+    ("crond", "(root) CMD (run-parts /etc/cron.hourly)"),
+    ("ntpd", "synchronized to 10.0.0.1, stratum 2"),
+    ("ntpd", "kernel time sync enabled 0001"),
+    ("kernel", "eth0: no IPv6 routers present"),
+    ("kernel", "martian source 255.255.255.255 from 10.0.3.4, on dev eth1"),
+    ("postfix/smtpd", "connect from localhost.localdomain[127.0.0.1]"),
+    ("pam_unix", "session closed for user root"),
+    ("in.tftpd", "RRQ from 10.1.1.1 filename pxelinux.0"),
+    ("gmond", "metric heartbeat received from cluster peer"),
+    ("dhcpd", "DHCPREQUEST for 10.2.3.4 from 00:11:22:33:44:55 via eth1"),
+    ("xinetd", "START: auth pid=2214 from=10.0.0.9"),
+    ("syslog-ng", "STATS: dropped 0"),
+    ("automount", "expiring path /misc/scratch"),
+    ("kernel", "nfs: server io-server OK"),
+)
+
+#: BG/L RAS chaff per severity — Table 5's message-severity mix.
+BGL_POOLS: Dict[str, Pool] = {
+    "FATAL": (
+        ("KERNEL", "ido packet timeout while flushing queue"),
+        ("KERNEL", "total of 9 ddr error(s) detected and corrected"),
+        ("KERNEL", "L3 ecc control register: 00000000"),
+        ("MMCS", "idoproxy communication failure: retrying"),
+        ("KERNEL", "uncorrectable error detected in edram bank 1"),
+        ("KERNEL", "ddr failing info register: 00000000"),
+    ),
+    "FAILURE": (
+        ("BGLMASTER", "mmcs_server exited normally with exit code 13"),
+        ("BGLMASTER", "idoproxydb restart requested by operator"),
+    ),
+    "SEVERE": (
+        ("KERNEL", "tree receiver 2 in resynch mode"),
+        ("KERNEL", "correctable error detected in directory entry"),
+        ("LINKCARD", "MidplaneSwitchController performing bit sparing"),
+    ),
+    "ERROR": (
+        ("APP", "ciod: duplicate canonical-rank 170 to ip 10.6.1.1"),
+        ("DISCOVERY", "node card VPD check: missing serial number"),
+        ("MMCS", "pollDb: status query returned empty result"),
+    ),
+    "WARNING": (
+        ("KERNEL", "ciodb has been restarted"),
+        ("MONITOR", "found invalid node ecid in processor card slot"),
+        ("LINKCARD", "clock mode not set for port 3"),
+    ),
+    "INFO": (
+        ("KERNEL", "generating core.2462"),
+        ("KERNEL", "instruction cache flush completed"),
+        ("DISCOVERY", "node card is fully functional"),
+        ("MMCS", "boot process initiated for block R00-M0"),
+        ("KERNEL", "129024 ddr(s) detected on 512 node(s)"),
+        ("KERNEL", "floating point alignment exceptions counter reset"),
+    ),
+}
+
+#: Red Storm syslog chaff per severity — Table 6's message-severity mix.
+REDSTORM_SYSLOG_POOLS: Dict[str, Pool] = {
+    "EMERG": (
+        ("kernel", "Oops: 0010 [1] SMP in interrupt handler"),
+    ),
+    "ALERT": (
+        ("kernel", "Out of memory: Killed process 8214 (lustre_mgmt)"),
+    ),
+    "CRIT": (
+        ("kernel", "CPU0: Temperature above threshold, cpu clock throttled"),
+        ("kernel", "journal commit I/O latency exceeded budget"),
+    ),
+    "ERR": (
+        ("kernel", "end_request: buffer recovery, dev sdc, sector 81543"),
+        ("mount", "RPC: sendmsg returned unrecognized value"),
+        ("kernel", "lock timed out, resubmitting rpc"),
+    ),
+    "WARNING": (
+        ("kernel", "TCP: time wait bucket table overflow"),
+        ("kernel", "Spurious 8259A interrupt: IRQ7"),
+    ),
+    "NOTICE": (
+        ("syslog-ng", "Objects alive 512, garbage collecting"),
+        ("sshd", "Did not receive identification string from 10.0.4.4"),
+    ),
+    "INFO": (
+        ("sshd", "Accepted publickey for operator from 10.0.0.7"),
+        ("crond", "(root) CMD (/usr/local/sbin/gather_stats)"),
+        ("ntpd", "synchronized to 10.0.0.1, stratum 2"),
+        ("kernel", "Lustre: 0 recovered clients, last_transno 48210"),
+    ),
+    "DEBUG": (
+        ("portmap", "connect from 127.0.0.1 to getport(status)"),
+    ),
+}
+
+#: Red Storm RAS-path chaff: informational ec_* events to the SMW.
+REDSTORM_RAS_POOL: Pool = (
+    ("ec_boot", "info node boot complete"),
+    ("ec_state_change", "state avail"),
+    ("ec_console_log", "login: console session opened"),
+    ("ec_power", "info cabinet power ok"),
+    ("ec_heartbeat_start", "info node heartbeat established"),
+    ("ec_link_status", "info seastar link retrained ok"),
+)
+
+
+def pool_for(
+    system: str,
+    severity: Optional[str],
+    channel: Channel,
+) -> Pool:
+    """The template pool for one background slice.
+
+    Raises ``KeyError`` when a scenario asks for a severity the system's
+    pools do not define — a calibration bug that should fail loudly.
+    """
+    if system == "bgl":
+        if severity is None:
+            raise KeyError("BG/L background requires a severity")
+        return BGL_POOLS[severity]
+    if system == "redstorm":
+        if channel is Channel.RAS_TCP:
+            return REDSTORM_RAS_POOL
+        if severity is None:
+            raise KeyError("Red Storm syslog background requires a severity")
+        return REDSTORM_SYSLOG_POOLS[severity]
+    return SYSLOG_POOL

@@ -1,0 +1,50 @@
+"""Central log collection: merge per-origin streams into one log.
+
+Models the collection fan-in of Section 3.1: ``syslog-ng`` servers
+(``tbird-admin1``, ``sadmin2``, ``ladmin2``), the Red Storm SMW, and the
+BG/L MMCS-to-DB2 relay all receive many concurrent streams and store one
+merged, time-ordered log — which is what analysts get.  Corruption happens
+here too: transit damage and write races mangle a small fraction of lines
+(Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Optional
+
+from ..logmodel.record import LogRecord
+from .corruptor import Corruptor
+
+
+def merge_streams(*streams: Iterable[LogRecord]) -> Iterator[LogRecord]:
+    """Merge time-ordered record streams into one time-ordered stream.
+
+    Lazy: ``heapq.merge`` holds one pending record per stream, so merging
+    thousands of incident streams costs O(streams) memory.
+    """
+    return heapq.merge(*streams, key=lambda record: record.timestamp)
+
+
+class Collector:
+    """A logging server: merges streams, optionally corrupting in transit.
+
+    Tracks the same counters a real collector's stats output would:
+    messages stored and messages detected as damaged.
+    """
+
+    def __init__(self, name: str, corruptor: Optional[Corruptor] = None):
+        self.name = name
+        self.corruptor = corruptor
+        self.stored = 0
+        self.corrupted = 0
+
+    def collect(self, *streams: Iterable[LogRecord]) -> Iterator[LogRecord]:
+        merged = merge_streams(*streams)
+        if self.corruptor is not None:
+            merged = self.corruptor.apply(merged)
+        for record in merged:
+            self.stored += 1
+            if record.corrupted:
+                self.corrupted += 1
+            yield record

@@ -1,0 +1,98 @@
+"""Corruption injection: truncation, splices, garbled fields.
+
+Models the damage the paper catalogs in Section 3.2.1 ("we saw messages
+truncated, partially overwritten, and incorrectly timestamped") using the
+Thunderbird VAPI corruptions as the canonical shapes::
+
+    ... failed (-253:VAPI_EAGAI                       <- truncated
+    ... failed (-253:VAPI_EAure = no                  <- spliced with another line
+    ... failed (-253:VAPI_EAGSys/mosal_iobuf.c [126]: <- spliced with another line
+
+plus garbled source fields, which produce Figure 2(b)'s cluster of
+unattributable messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..logmodel.record import LogRecord
+
+#: Tails spliced onto a victim body, echoing the paper's VAPI examples.
+SPLICE_FRAGMENTS = (
+    "ure = no",
+    "Sys/mosal_iobuf.c [126]: dump iobuf at 0000010188ee7880:",
+    "NMI received",
+    " = 0x3",
+    "etc/init.d/sysl",
+)
+
+#: Garbage replacing a corrupted source field.
+GARBLED_SOURCES = ("\x00\x13\x7fx", "##\x01!", "\x02\x03\x04\x05", "@\x00\x00")
+
+
+@dataclass
+class CorruptorStats:
+    processed: int = 0
+    truncated: int = 0
+    spliced: int = 0
+    garbled_source: int = 0
+
+
+class Corruptor:
+    """Randomly damages a small fraction of a record stream.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source.
+    rate:
+        Probability that a record is damaged at all.
+    modes:
+        Relative weights of (truncate, splice, garble-source).
+    """
+
+    def __init__(
+        self,
+        rng,
+        rate: float = 2e-4,
+        modes: Sequence[float] = (0.5, 0.3, 0.2),
+    ):
+        if not 0 <= rate <= 1:
+            raise ValueError("rate must be in [0, 1]")
+        if len(modes) != 3 or any(m < 0 for m in modes) or sum(modes) == 0:
+            raise ValueError("modes must be three non-negative weights")
+        self.rng = rng
+        self.rate = rate
+        total = float(sum(modes))
+        self.modes = tuple(m / total for m in modes)
+        self.stats = CorruptorStats()
+
+    def corrupt_one(self, record: LogRecord) -> LogRecord:
+        """Damage a single record (unconditionally)."""
+        roll = self.rng.random()
+        body = record.body
+        if roll < self.modes[0] and len(body) > 4:
+            cut = int(self.rng.integers(max(1, len(body) // 3), len(body)))
+            self.stats.truncated += 1
+            return record.with_corruption(body=body[:cut])
+        if roll < self.modes[0] + self.modes[1] and len(body) > 4:
+            cut = int(self.rng.integers(max(1, len(body) // 3), len(body)))
+            fragment = SPLICE_FRAGMENTS[
+                int(self.rng.integers(0, len(SPLICE_FRAGMENTS)))
+            ]
+            self.stats.spliced += 1
+            return record.with_corruption(body=body[:cut] + fragment)
+        garbage = GARBLED_SOURCES[int(self.rng.integers(0, len(GARBLED_SOURCES)))]
+        self.stats.garbled_source += 1
+        return record.with_corruption(body=body, source=garbage)
+
+    def apply(self, records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+        """Pass records through, damaging ~``rate`` of them."""
+        for record in records:
+            self.stats.processed += 1
+            if self.rng.random() < self.rate:
+                yield self.corrupt_one(record)
+            else:
+                yield record

@@ -1,0 +1,137 @@
+"""Log transport models: lossy UDP syslog, reliable RAS TCP, JTAG polling.
+
+The paper is explicit that the collection path shapes the data
+(Section 3.1):
+
+* Thunderbird/Spirit/Liberty forward syslog over **UDP** — "as is standard
+  syslog practice, the UDP protocol is used for transmission, resulting in
+  some messages being lost during network contention";
+* Red Storm's RAS network uses "the reliable **TCP** protocol" to the SMW;
+* BG/L compute chips "store errors locally until they are polled" over the
+  **JTAG-mailbox** protocol (~1 ms polling period), so delivery timestamps
+  are quantized to poll boundaries while the event keeps its microsecond
+  origin stamp.
+
+Transports are stream transformers over time-ordered records.  Loss in the
+UDP channel is *load-dependent*: the drop probability rises with the
+instantaneous message rate, which is exactly when bursts (the interesting
+part of the log) are being generated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Iterator
+
+from ..logmodel.record import LogRecord
+
+
+class UdpSyslogChannel:
+    """Lossy fan-in channel modeling syslog-over-UDP under contention.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source.
+    base_loss:
+        Drop probability at idle.
+    congestion_loss:
+        Additional drop probability at/above ``congestion_rate``; loss
+        interpolates linearly in the observed rate between idle and there.
+    congestion_rate:
+        Messages/second over a 1-second trailing window considered full
+        contention.
+    """
+
+    def __init__(
+        self,
+        rng,
+        base_loss: float = 0.001,
+        congestion_loss: float = 0.05,
+        congestion_rate: float = 500.0,
+    ):
+        if not 0 <= base_loss <= 1 or not 0 <= congestion_loss <= 1:
+            raise ValueError("loss probabilities must be in [0, 1]")
+        if congestion_rate <= 0:
+            raise ValueError("congestion_rate must be positive")
+        self.rng = rng
+        self.base_loss = base_loss
+        self.congestion_loss = congestion_loss
+        self.congestion_rate = congestion_rate
+        self.sent = 0
+        self.dropped = 0
+        self._window: Deque[float] = deque()
+
+    def _loss_probability(self, timestamp: float) -> float:
+        while self._window and timestamp - self._window[0] > 1.0:
+            self._window.popleft()
+        rate = len(self._window)
+        utilization = min(1.0, rate / self.congestion_rate)
+        return self.base_loss + utilization * self.congestion_loss
+
+    def transmit(self, records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+        """Yield the records that survive the channel."""
+        for record in records:
+            self.sent += 1
+            p = self._loss_probability(record.timestamp)
+            self._window.append(record.timestamp)
+            if self.rng.random() < p:
+                self.dropped += 1
+                continue
+            yield record
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.dropped / self.sent if self.sent else 0.0
+
+
+class TcpRasChannel:
+    """Reliable, order-preserving channel (Red Storm RAS network).
+
+    Nothing is lost; a small constant delivery latency models the hop to
+    the SMW but original event timestamps are preserved — logs record the
+    event time, not the arrival time, on this path.
+    """
+
+    def __init__(self, latency: float = 0.02):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency = latency
+        self.delivered = 0
+
+    def transmit(self, records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+        for record in records:
+            self.delivered += 1
+            yield record
+
+
+class JtagMailbox:
+    """BG/L's polled collection: chips buffer events until the next poll.
+
+    Events are delivered in batches at multiples of ``poll_period`` (the
+    paper's logs used ~1 ms).  The record keeps its microsecond origin
+    timestamp; :attr:`max_delivery_delay` tracks the worst buffering delay,
+    which bounds the staleness detection-time analyses must assume.
+    """
+
+    def __init__(self, poll_period: float = 0.001):
+        if poll_period <= 0:
+            raise ValueError("poll_period must be positive")
+        self.poll_period = poll_period
+        self.delivered = 0
+        self.max_delivery_delay = 0.0
+
+    def next_poll_after(self, timestamp: float) -> float:
+        """The first poll instant at or after ``timestamp``."""
+        polls = int(timestamp / self.poll_period)
+        poll_time = polls * self.poll_period
+        if poll_time < timestamp:
+            poll_time += self.poll_period
+        return poll_time
+
+    def transmit(self, records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+        for record in records:
+            delay = self.next_poll_after(record.timestamp) - record.timestamp
+            self.max_delivery_delay = max(self.max_delivery_delay, delay)
+            self.delivered += 1
+            yield record

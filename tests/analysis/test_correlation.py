@@ -1,0 +1,111 @@
+"""Unit tests for spatial and inter-tag correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    correlation_matrix,
+    spatial_correlation,
+    tag_correlation,
+)
+from repro.core.filtering import sorted_by_time
+
+from ..conftest import make_alert
+
+
+class TestSpatialCorrelation:
+    def test_multi_node_bursts_flagged(self):
+        """The CPU clock-bug signature: one trigger, many nodes at once."""
+        alerts = []
+        for burst in range(10):
+            base = burst * 1e5
+            for node in range(5):
+                alerts.append(
+                    make_alert(base + node, source=f"n{node}", category="CPU")
+                )
+        result = spatial_correlation(sorted_by_time(alerts))["CPU"]
+        assert result.is_spatially_correlated
+        assert result.incidents == 10
+        assert result.mean_distinct_sources == pytest.approx(5.0)
+
+    def test_per_node_physics_not_flagged(self):
+        """ECC-style: each burst confined to the failing node."""
+        rng = np.random.default_rng(0)
+        alerts = [
+            make_alert(float(t), source=f"n{rng.integers(50)}", category="ECC")
+            for t in np.cumsum(rng.uniform(1e4, 1e5, size=60))
+        ]
+        result = spatial_correlation(sorted_by_time(alerts))["ECC"]
+        assert not result.is_spatially_correlated
+        assert result.mean_distinct_sources == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert spatial_correlation([]) == {}
+
+
+class TestTagCorrelation:
+    def _correlated(self, echo_fraction=1.0, n=20):
+        rng = np.random.default_rng(1)
+        alerts = []
+        t = 0.0
+        for _ in range(n):
+            t += float(rng.uniform(1e4, 1e5))
+            alerts.append(make_alert(t, category="GM_PAR"))
+            if rng.random() < echo_fraction:
+                alerts.append(make_alert(t + 5.0, category="GM_LANAI"))
+        return sorted_by_time(alerts)
+
+    def test_perfect_echo(self):
+        corr = tag_correlation(self._correlated(), "GM_PAR", "GM_LANAI")
+        assert corr.is_correlated
+        assert corr.coincidence_rate == pytest.approx(1.0)
+
+    def test_partial_echo_still_correlated(self):
+        """Figure 3: 'GM_LANAI messages do not always follow GM_PAR
+        messages, nor vice versa.  However, the correlation is clear.'"""
+        corr = tag_correlation(
+            self._correlated(echo_fraction=0.6), "GM_PAR", "GM_LANAI"
+        )
+        assert corr.is_correlated
+
+    def test_independent_tags_not_correlated(self):
+        rng = np.random.default_rng(2)
+        alerts = sorted_by_time(
+            [make_alert(float(t), category="X")
+             for t in np.cumsum(rng.uniform(1e4, 1e5, 30))]
+            + [make_alert(float(t) + 3333.0, category="Y")
+               for t in np.cumsum(rng.uniform(1e4, 1e5, 30))]
+        )
+        corr = tag_correlation(alerts, "X", "Y", window=60.0)
+        assert not corr.is_correlated
+
+    def test_missing_category(self):
+        corr = tag_correlation(
+            [make_alert(0.0, category="A")], "A", "MISSING"
+        )
+        assert corr.coincidences == 0
+        assert not corr.is_correlated
+
+    def test_generator_input_rejected(self):
+        with pytest.raises(TypeError, match="list"):
+            tag_correlation(iter([]), "A", "B")
+
+    def test_mean_lag_sign(self):
+        """GM_LANAI trails GM_PAR, so the (rarer-to-other) lag is positive
+        when the echo is the rarer tag."""
+        corr = tag_correlation(
+            self._correlated(echo_fraction=0.5), "GM_PAR", "GM_LANAI"
+        )
+        assert corr.mean_lag < 0 or corr.mean_lag > 0  # defined either way
+        assert corr.coincidences > 0
+
+
+class TestCorrelationMatrix:
+    def test_upper_triangle(self):
+        alerts = [
+            make_alert(0.0, category="A"),
+            make_alert(1.0, category="B"),
+            make_alert(2.0, category="C"),
+        ]
+        matrix = correlation_matrix(alerts, ["A", "B", "C"], window=10.0)
+        assert set(matrix) == {("A", "B"), ("A", "C"), ("B", "C")}

@@ -1,0 +1,102 @@
+"""Unit tests for distribution fitting and goodness-of-fit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    compare_models,
+    empirical_cdf,
+    exponentiality_score,
+    fit_all,
+    fit_exponential,
+    fit_lognormal,
+    fit_weibull,
+)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestFits:
+    def test_exponential_sample_accepted(self, rng):
+        sample = rng.exponential(50.0, 800)
+        fit = fit_exponential(sample)
+        assert fit.acceptable
+        assert fit.params[0] == pytest.approx(50.0, rel=0.15)
+
+    def test_lognormal_sample_accepted(self, rng):
+        sample = rng.lognormal(3.0, 1.0, 800)
+        fit = fit_lognormal(sample)
+        assert fit.acceptable
+        assert fit.params[0] == pytest.approx(3.0, abs=0.15)
+        assert fit.params[1] == pytest.approx(1.0, abs=0.15)
+
+    def test_weibull_exponential_degeneracy(self, rng):
+        # Weibull with shape 1 IS the exponential; the fit should find it.
+        sample = rng.exponential(10.0, 800)
+        fit = fit_weibull(sample)
+        assert fit.params[0] == pytest.approx(1.0, abs=0.15)
+
+    def test_wrong_model_rejected(self, rng):
+        # A lognormal with fat sigma looks nothing like an exponential.
+        sample = rng.lognormal(1.0, 2.5, 800)
+        assert not fit_exponential(sample).acceptable
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError, match="two positive"):
+            fit_exponential([1.0])
+
+    def test_nonpositive_values_dropped(self, rng):
+        sample = np.concatenate([[0.0, -1.0], rng.exponential(5.0, 100)])
+        fit = fit_exponential(sample)
+        assert fit.params[0] > 0
+
+    def test_fit_all_keys(self, rng):
+        fits = fit_all(rng.exponential(1.0, 100))
+        assert set(fits) == {"exponential", "lognormal", "weibull"}
+
+
+class TestCompareModels:
+    def test_recovers_exponential(self, rng):
+        comparison = compare_models(rng.exponential(20.0, 600))
+        assert comparison.best_name in ("exponential", "weibull")
+        assert not comparison.none_fit
+
+    def test_recovers_lognormal(self, rng):
+        comparison = compare_models(rng.lognormal(2.0, 0.8, 600))
+        assert comparison.best_name == "lognormal"
+
+    def test_none_fit_on_pathological_mixture(self, rng):
+        """The paper's heavy-tail situation: no standard model fits
+        (Section 4: 'such modeling of this data is misguided')."""
+        sample = np.concatenate(
+            [np.full(400, 1.0), rng.lognormal(10.0, 0.2, 200)]
+        )
+        comparison = compare_models(sample)
+        assert comparison.none_fit
+        assert comparison.best is None
+
+
+class TestEmpiricalCdf:
+    def test_monotone_and_normalized(self, rng):
+        values, heights = empirical_cdf(rng.exponential(1.0, 50))
+        assert (np.diff(values) >= 0).all()
+        assert heights[-1] == pytest.approx(1.0)
+        assert heights[0] == pytest.approx(1 / 50)
+
+    def test_empty(self):
+        values, heights = empirical_cdf([])
+        assert values.size == 0
+
+
+class TestExponentialityScore:
+    def test_poisson_scores_higher_than_bursty(self, rng):
+        poisson_gaps = rng.exponential(10.0, 400)
+        bursty_gaps = np.concatenate(
+            [np.full(350, 0.5), rng.uniform(5000, 20000, 50)]
+        )
+        assert exponentiality_score(poisson_gaps) > 10 * max(
+            exponentiality_score(bursty_gaps), 1e-12
+        )

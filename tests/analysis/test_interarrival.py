@@ -1,0 +1,136 @@
+"""Unit and property tests for interarrival statistics and log-histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.interarrival import (
+    interarrival_times,
+    interarrivals_by_category,
+    log_histogram,
+    summary_statistics,
+)
+from repro.core.filtering import sorted_by_time
+
+from ..conftest import make_alert
+
+
+class TestInterarrivalTimes:
+    def test_basic_gaps(self):
+        alerts = [make_alert(0.0), make_alert(2.0), make_alert(7.0)]
+        assert interarrival_times(alerts).tolist() == [2.0, 5.0]
+
+    def test_short_streams_have_no_gaps(self):
+        assert interarrival_times([]).size == 0
+        assert interarrival_times([make_alert(1.0)]).size == 0
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            interarrival_times([make_alert(5.0), make_alert(1.0)])
+
+    def test_by_category(self):
+        alerts = sorted_by_time(
+            [
+                make_alert(0.0, category="A"),
+                make_alert(1.0, category="B"),
+                make_alert(4.0, category="A"),
+                make_alert(9.0, category="B"),
+            ]
+        )
+        gaps = interarrivals_by_category(alerts)
+        assert gaps["A"].tolist() == [4.0]
+        assert gaps["B"].tolist() == [8.0]
+
+    def test_by_category_skips_singletons(self):
+        alerts = [make_alert(0.0, category="LONER")]
+        assert "LONER" not in interarrivals_by_category(alerts)
+
+
+class TestLogHistogram:
+    def test_counts_total(self):
+        hist = log_histogram([1.0, 10.0, 100.0, 1000.0])
+        assert hist.total == 4
+
+    def test_zero_gaps_clamped_not_dropped(self):
+        hist = log_histogram([0.0, 0.0, 10.0])
+        assert hist.total == 3
+
+    def test_empty_sample(self):
+        hist = log_histogram([])
+        assert hist.total == 0
+        assert hist.mode_count() == 0
+        assert not hist.is_bimodal()
+
+    def test_bimodal_detection(self):
+        # 200 gaps near 1 s, 50 gaps near 10^4 s: two clean modes.
+        rng = np.random.default_rng(0)
+        gaps = np.concatenate(
+            [rng.lognormal(0.0, 0.3, 200), rng.lognormal(9.2, 0.3, 50)]
+        )
+        hist = log_histogram(gaps)
+        assert hist.is_bimodal()
+        assert hist.mode_count() >= 2
+
+    def test_unimodal_detection(self):
+        rng = np.random.default_rng(1)
+        gaps = rng.lognormal(5.0, 0.4, 500)
+        hist = log_histogram(gaps)
+        assert not hist.is_bimodal()
+
+    def test_fixed_range(self):
+        hist = log_histogram([1.0, 10.0], range_log10=(0.0, 4.0),
+                             bins_per_decade=1)
+        assert len(hist.counts) == 4
+        assert hist.bin_edges[0] == 0.0
+        assert hist.bin_edges[-1] == 4.0
+
+
+class TestSummaryStatistics:
+    def test_poisson_like_cv_near_one(self):
+        rng = np.random.default_rng(2)
+        stats = summary_statistics(rng.exponential(10.0, 5000))
+        assert stats["cv"] == pytest.approx(1.0, abs=0.1)
+
+    def test_bursty_cv_far_above_one(self):
+        gaps = [0.1] * 99 + [10000.0]
+        assert summary_statistics(gaps)["cv"] > 5
+
+    def test_empty(self):
+        stats = summary_statistics([])
+        assert stats["count"] == 0
+        assert stats["mean"] == 0.0
+
+    def test_fields(self):
+        stats = summary_statistics([1.0, 2.0, 3.0])
+        assert stats["count"] == 3
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["median"] == pytest.approx(2.0)
+        assert stats["max"] == 3.0
+
+
+@given(
+    st.lists(
+        st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    )
+)
+@settings(max_examples=150)
+def test_property_histogram_conserves_mass(gaps):
+    assert log_histogram(gaps).total == len(gaps)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=1e5, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    )
+)
+@settings(max_examples=150)
+def test_property_gaps_nonnegative_and_count_correct(times):
+    alerts = [make_alert(t) for t in sorted(times)]
+    gaps = interarrival_times(alerts)
+    assert gaps.size == len(alerts) - 1
+    assert (gaps >= 0).all()

@@ -1,0 +1,97 @@
+"""Unit tests for RAS metrics (naive MTTF vs context-aware lost work)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ras import (
+    lost_work_report,
+    mttf_sensitivity,
+    naive_log_mttf,
+)
+from repro.core.filtering import sorted_by_time
+from repro.simulation.cluster import Cluster
+from repro.simulation.opcontext import ContextTimeline, OperationalState
+from repro.simulation.workload import Job
+from repro.systems.specs import LIBERTY
+
+from ..conftest import make_alert
+
+DAY = 86400.0
+
+
+class TestNaiveMttf:
+    def test_basic(self):
+        alerts = [make_alert(float(i)) for i in range(10)]
+        assert naive_log_mttf(alerts, 100.0) == 10.0
+
+    def test_no_failures_is_infinite(self):
+        assert naive_log_mttf([], 100.0) == float("inf")
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            naive_log_mttf([], 0.0)
+
+    def test_sensitivity_shows_the_papers_instability(self):
+        """The same log yields wildly different 'MTTF' as the filtering
+        threshold moves — the Section 5 argument against log-derived
+        metrics."""
+        alerts = []
+        for i in range(25):  # failure pairs 300 s apart, each reported
+            base = (i + 1) * 1e5  # 20x at 30 s spacing
+            for offset in (0.0, 900.0):  # second burst 330 s after the
+                # first burst's last report: distinct at T=60, one at T=600
+                alerts.extend(
+                    make_alert(base + offset + k * 30.0) for k in range(20)
+                )
+        alerts = sorted_by_time(alerts)
+        window = alerts[-1].timestamp
+        table = mttf_sensitivity(alerts, window, thresholds=(1.0, 60.0, 600.0))
+        assert table[1.0] < table[60.0] < table[600.0]
+        assert table[600.0] / table[1.0] > 10
+
+
+class TestLostWork:
+    def _fixture(self):
+        cluster = Cluster(LIBERTY, max_nodes=64)
+        nodes = cluster.compute_nodes[:4]
+        job = Job(job_id=1, start=0.0, duration=10_000.0, nodes=nodes,
+                  comm_intensity=0.5)
+        alert = make_alert(4000.0, source=nodes[0].name, category="GM_PAR")
+        return job, alert, nodes
+
+    def test_elapsed_work_counted(self):
+        job, alert, nodes = self._fixture()
+        report = lost_work_report([alert], [job])
+        assert report.total_lost_node_seconds == pytest.approx(4000.0 * 4)
+
+    def test_category_filtering(self):
+        job, alert, _ = self._fixture()
+        report = lost_work_report(
+            [alert], [job], job_fatal_categories=["PBS_CHK"]
+        )
+        assert report.entries == []
+
+    def test_context_attribution(self):
+        job, alert, _ = self._fixture()
+        timeline = ContextTimeline(0.0, DAY)
+        timeline.add_transition(
+            3000.0, OperationalState.SCHEDULED_DOWNTIME, "maintenance"
+        )
+        report = lost_work_report([alert], [job], timeline=timeline)
+        # The failure happened during downtime: recorded, but not charged
+        # to production reliability.
+        assert report.total_lost_node_seconds > 0
+        assert report.production_lost_node_seconds == 0.0
+
+    def test_by_category(self):
+        job, alert, nodes = self._fixture()
+        other = make_alert(5000.0, source=nodes[1].name, category="GM_LANAI")
+        report = lost_work_report(sorted_by_time([alert, other]), [job])
+        by_cat = report.by_category()
+        assert set(by_cat) == {"GM_PAR", "GM_LANAI"}
+
+    def test_alert_on_idle_node_loses_nothing(self):
+        job, _, _ = self._fixture()
+        alert = make_alert(4000.0, source="unrelated-node")
+        report = lost_work_report([alert], [job])
+        assert report.total_lost_node_seconds == 0.0

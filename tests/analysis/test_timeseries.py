@@ -1,0 +1,102 @@
+"""Unit tests for traffic time series and per-source distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import (
+    bucket_counts,
+    hourly_message_counts,
+    messages_by_source,
+    rate_bytes_per_second,
+)
+from repro.logmodel.record import LogRecord
+
+
+def _record(t, source="n1"):
+    return LogRecord(timestamp=t, source=source, facility="f", body="x")
+
+
+class TestBucketCounts:
+    def test_hourly_bucketing(self):
+        times = [0.0, 10.0, 3600.0, 3601.0, 7200.0]
+        series = bucket_counts(times, bucket_seconds=3600.0)
+        assert series.counts.tolist() == [2, 2, 1]
+
+    def test_mass_conserved(self):
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0, 1e6, 5000)
+        series = bucket_counts(times)
+        assert series.counts.sum() == 5000
+
+    def test_explicit_window(self):
+        series = bucket_counts([50.0], bucket_seconds=10.0, start=0.0, end=100.0)
+        assert len(series.counts) == 10
+        assert series.counts[5] == 1
+
+    def test_empty(self):
+        series = bucket_counts([])
+        assert series.counts.size == 0
+        assert series.mean_rate() == 0.0
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            bucket_counts([1.0], bucket_seconds=0)
+
+    def test_mean_rate(self):
+        series = bucket_counts(
+            [0.0, 1.0, 2.0], bucket_seconds=10.0, start=0.0, end=10.0
+        )
+        assert series.mean_rate() == pytest.approx(0.3)
+
+    def test_times_axis(self):
+        series = bucket_counts([0.0, 25.0], bucket_seconds=10.0)
+        assert series.times().tolist() == [0.0, 10.0, 20.0]
+
+    def test_hourly_wrapper(self):
+        records = [_record(0.0), _record(3700.0)]
+        series = hourly_message_counts(records)
+        assert series.bucket_seconds == 3600.0
+        assert series.counts.tolist() == [1, 1]
+
+
+class TestSourceDistribution:
+    def _dist(self):
+        records = (
+            [_record(0.0, "admin")] * 5
+            + [_record(0.0, "n2")] * 3
+            + [_record(0.0, "n3")]
+            + [_record(0.0, "\x00\x01\x02")]
+            + [_record(0.0, "")]
+        )
+        return messages_by_source(records)
+
+    def test_ranked_order(self):
+        ranked = self._dist().ranked()
+        assert ranked[0] == ("admin", 5)
+        assert ranked[1] == ("n2", 3)
+
+    def test_total_and_top(self):
+        dist = self._dist()
+        assert dist.total == 11
+        assert dist.top(1) == [("admin", 5)]
+
+    def test_concentration(self):
+        assert self._dist().concentration(1) == pytest.approx(5 / 11)
+
+    def test_unattributed_counts_garbled_and_empty(self):
+        """Figure 2(b)'s corrupted cluster: empty or garbled sources."""
+        assert self._dist().unattributed() == 2
+
+    def test_empty_distribution(self):
+        dist = messages_by_source([])
+        assert dist.total == 0
+        assert dist.concentration() == 0.0
+
+
+class TestRate:
+    def test_rate(self):
+        assert rate_bytes_per_second(1000, 0.0, 100.0) == 10.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rate_bytes_per_second(1000, 100.0, 100.0)

@@ -1,0 +1,90 @@
+"""Shared fixtures: small generated logs, cached per test session.
+
+Generation is deterministic, so caching materialized streams is safe and
+keeps the suite fast — the big systems are only generated once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import pipeline
+from repro.core.categories import Alert, AlertType
+from repro.logmodel.record import LogRecord
+
+#: Scales small enough for unit-test speed, large enough for structure.
+SMALL_SCALE = 2e-5
+MEDIUM_SCALE = 1e-3
+
+SEED = 20070625  # DSN 2007 conference date
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(SEED)
+
+
+@pytest.fixture(scope="session")
+def liberty_result():
+    """Full pipeline over a small Liberty log (cheapest rich system)."""
+    return pipeline.run_system("liberty", scale=SMALL_SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def bgl_result():
+    """Full pipeline over a medium BG/L log (it is tiny even at 1e-3)."""
+    return pipeline.run_system("bgl", scale=MEDIUM_SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def redstorm_result():
+    return pipeline.run_system("redstorm", scale=SMALL_SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def spirit_result():
+    return pipeline.run_system("spirit", scale=SMALL_SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def thunderbird_result():
+    return pipeline.run_system("thunderbird", scale=SMALL_SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def all_results(
+    bgl_result, thunderbird_result, redstorm_result, spirit_result,
+    liberty_result,
+):
+    return {
+        "bgl": bgl_result,
+        "thunderbird": thunderbird_result,
+        "redstorm": redstorm_result,
+        "spirit": spirit_result,
+        "liberty": liberty_result,
+    }
+
+
+def make_alert(
+    t: float,
+    source: str = "n1",
+    category: str = "CAT",
+    alert_type: AlertType = AlertType.SOFTWARE,
+    system: str = "test",
+) -> Alert:
+    """Hand-built alert for filter/analysis unit tests."""
+    record = LogRecord(
+        timestamp=t,
+        source=source,
+        facility="kernel",
+        body=f"synthetic {category}",
+        system=system,
+    )
+    return Alert(
+        timestamp=t,
+        source=source,
+        category=category,
+        alert_type=alert_type,
+        record=record,
+    )

@@ -1,0 +1,121 @@
+"""Unit tests for failure-report attribution."""
+
+import pytest
+
+from repro.core.attribution import (
+    attribution_summary,
+    build_failure_reports,
+)
+from repro.core.categories import AlertType
+from repro.core.filtering import sorted_by_time
+
+from ..conftest import make_alert
+
+
+def _cascade():
+    """A hardware fault followed by software symptoms across nodes."""
+    return sorted_by_time(
+        [
+            make_alert(100.0, source="nic3", category="GM_PAR",
+                       alert_type=AlertType.HARDWARE),
+            make_alert(105.0, source="n1", category="GM_LANAI",
+                       alert_type=AlertType.SOFTWARE),
+            make_alert(108.0, source="n2", category="GM_LANAI",
+                       alert_type=AlertType.SOFTWARE),
+            make_alert(112.0, source="n1", category="PBS_CHK",
+                       alert_type=AlertType.SOFTWARE),
+        ]
+    )
+
+
+class TestBuildReports:
+    def test_clusters_by_window(self):
+        alerts = _cascade() + [make_alert(5000.0, category="ECC",
+                                          alert_type=AlertType.HARDWARE)]
+        reports = build_failure_reports(sorted_by_time(alerts), window=60.0)
+        assert len(reports) == 2
+        assert reports[0].alert_count == 4
+        assert reports[1].alert_count == 1
+
+    def test_cascade_detection(self):
+        (report,) = build_failure_reports(_cascade(), window=60.0)
+        assert report.is_cascade
+        assert report.is_shared_resource
+        assert dict(report.categories)["GM_LANAI"] == 2
+
+    def test_root_cause_prefers_earliest_hardware(self):
+        (report,) = build_failure_reports(_cascade(), window=60.0)
+        assert report.root_cause_candidate.category == "GM_PAR"
+        assert report.root_cause_candidate.source == "nic3"
+
+    def test_root_cause_falls_back_to_first_alert(self):
+        alerts = sorted_by_time(
+            [
+                make_alert(1.0, category="PBS_CHK",
+                           alert_type=AlertType.SOFTWARE),
+                make_alert(2.0, category="PBS_BFD",
+                           alert_type=AlertType.SOFTWARE),
+            ]
+        )
+        (report,) = build_failure_reports(alerts, window=60.0)
+        assert report.root_cause_candidate.category == "PBS_CHK"
+
+    def test_correlated_group_annotation(self):
+        groups = [frozenset({"GM_PAR", "GM_LANAI"})]
+        (report,) = build_failure_reports(_cascade(), window=60.0,
+                                          groups=groups)
+        assert report.correlated_group == frozenset({"GM_PAR", "GM_LANAI"})
+
+    def test_single_category_report_not_annotated(self):
+        alerts = [make_alert(1.0, category="ECC")]
+        (report,) = build_failure_reports(
+            alerts, groups=[frozenset({"GM_PAR", "GM_LANAI"})]
+        )
+        assert report.correlated_group is None
+        assert not report.is_cascade
+
+    def test_min_alerts_filter(self):
+        alerts = _cascade() + [make_alert(9999.0)]
+        reports = build_failure_reports(
+            sorted_by_time(alerts), window=60.0, min_alerts=2
+        )
+        assert len(reports) == 1
+
+    def test_headline(self):
+        (report,) = build_failure_reports(_cascade(), window=60.0)
+        text = report.headline()
+        assert "GM_PAR on nic3" in text
+        assert "cascade" in text
+
+    def test_empty(self):
+        assert build_failure_reports([]) == []
+
+
+class TestSummary:
+    def test_aggregates(self):
+        alerts = _cascade() + [make_alert(5000.0)]
+        reports = build_failure_reports(sorted_by_time(alerts), window=60.0)
+        summary = attribution_summary(reports)
+        assert summary["reports"] == 2
+        assert summary["cascades"] == 1
+        assert summary["cascade_fraction"] == pytest.approx(0.5)
+        assert summary["mean_alerts_per_failure"] == pytest.approx(2.5)
+
+    def test_empty(self):
+        assert attribution_summary([])["reports"] == 0
+
+
+class TestOnGeneratedData:
+    def test_liberty_pbs_cascades_found(self, liberty_result):
+        """On generated Liberty data the PBS_CHK/PBS_BFD pairs show up as
+        cascading reports."""
+        reports = build_failure_reports(
+            liberty_result.raw_alerts, window=120.0
+        )
+        assert reports
+        cascades = [r for r in reports if r.is_cascade]
+        pair_cascades = [
+            r for r in cascades
+            if {"PBS_CHK", "PBS_BFD"} <= set(dict(r.categories))
+        ]
+        assert pair_cascades

@@ -1,0 +1,209 @@
+"""Unit and property tests for Algorithm 3.1 (simultaneous filtering)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filtering import (
+    DEFAULT_THRESHOLD,
+    SpatioTemporalFilter,
+    filter_with_report,
+    log_filter_list,
+    sorted_by_time,
+)
+
+from ..conftest import make_alert
+
+
+class TestBasicSemantics:
+    def test_single_alert_kept(self):
+        assert len(log_filter_list([make_alert(0.0)])) == 1
+
+    def test_repeat_within_threshold_removed(self):
+        alerts = [make_alert(0.0), make_alert(3.0)]
+        kept = log_filter_list(alerts)
+        assert [a.timestamp for a in kept] == [0.0]
+
+    def test_repeat_beyond_threshold_kept(self):
+        alerts = [make_alert(0.0), make_alert(6.0)]
+        assert len(log_filter_list(alerts)) == 2
+
+    def test_boundary_gap_exactly_t_is_kept(self):
+        # Algorithm 3.1 removes on t_i - X[c_i] < T, strictly.
+        alerts = [make_alert(0.0), make_alert(5.0)]
+        assert len(log_filter_list(alerts, threshold=5.0)) == 2
+
+    def test_chain_suppression(self):
+        # "if a node reports a particular alert every T seconds for a week,
+        # the temporal filter keeps only the first" — suppressed alerts
+        # refresh the clock.
+        alerts = [make_alert(float(t)) for t in range(0, 100, 3)]
+        assert len(log_filter_list(alerts)) == 1
+
+    def test_spatial_suppression_across_sources(self):
+        # "an alert ... is considered redundant if ANY source, including s,
+        # had reported that alert category within T seconds."
+        alerts = [
+            make_alert(0.0, source="n1"),
+            make_alert(2.0, source="n2"),
+            make_alert(4.0, source="n3"),
+        ]
+        kept = log_filter_list(alerts)
+        assert len(kept) == 1
+        assert kept[0].source == "n1"
+
+    def test_round_robin_reporting_collapses(self):
+        # The paper's k-node round-robin example.
+        alerts = [
+            make_alert(float(t), source=f"n{t % 4}") for t in range(0, 40, 2)
+        ]
+        assert len(log_filter_list(alerts)) == 1
+
+    def test_categories_filter_independently(self):
+        alerts = sorted_by_time(
+            [make_alert(0.0, category="A"), make_alert(1.0, category="B"),
+             make_alert(2.0, category="A"), make_alert(3.0, category="B")]
+        )
+        kept = log_filter_list(alerts)
+        assert {(a.category, a.timestamp) for a in kept} == {("A", 0.0), ("B", 1.0)}
+
+    def test_empty_stream(self):
+        assert log_filter_list([]) == []
+
+    def test_zero_threshold_keeps_everything_with_positive_gaps(self):
+        alerts = [make_alert(0.0), make_alert(0.5), make_alert(1.0)]
+        assert len(log_filter_list(alerts, threshold=0.0)) == 3
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SpatioTemporalFilter(-1.0)
+
+
+class TestTableClear:
+    def test_clear_does_not_change_output(self):
+        # The clear(X) step is memory hygiene: a long quiet gap wipes the
+        # table, but any surviving entry would have been stale anyway.
+        alerts = [make_alert(0.0), make_alert(1000.0), make_alert(1002.0)]
+        kept = log_filter_list(alerts)
+        assert [a.timestamp for a in kept] == [0.0, 1000.0]
+
+    def test_internal_table_is_cleared_after_quiet_gap(self):
+        stf = SpatioTemporalFilter()
+        stf.offer(make_alert(0.0, category="A"))
+        stf.offer(make_alert(1.0, category="B"))
+        assert len(stf._last_seen) == 2
+        stf.offer(make_alert(100.0, category="C"))
+        assert set(stf._last_seen) == {"C"}
+
+
+class TestStats:
+    def test_counters(self):
+        stf = SpatioTemporalFilter()
+        for alert in [make_alert(0.0), make_alert(1.0), make_alert(10.0)]:
+            stf.offer(alert)
+        assert stf.stats.seen == 3
+        assert stf.stats.kept == 2
+        assert stf.stats.removed == 1
+        assert stf.stats.reduction_ratio == pytest.approx(1 / 3)
+
+    def test_reset(self):
+        stf = SpatioTemporalFilter()
+        stf.offer(make_alert(0.0))
+        stf.reset()
+        assert stf.stats.seen == 0
+        assert stf.offer(make_alert(0.1))  # fresh state keeps it
+
+    def test_report_per_category(self):
+        alerts = sorted_by_time(
+            [make_alert(0.0, category="A"), make_alert(1.0, category="A"),
+             make_alert(2.0, category="B")]
+        )
+        kept, report = filter_with_report(alerts)
+        assert report.by_category == {"A": [2, 1], "B": [1, 1]}
+        assert report.raw_total == 3
+        assert report.filtered_total == 2
+        assert len(kept) == 2
+
+
+# -- property-based tests ----------------------------------------------------
+
+alert_streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        st.sampled_from(["A", "B", "C"]),
+        st.sampled_from(["n1", "n2"]),
+    ),
+    max_size=60,
+).map(
+    lambda items: sorted_by_time(
+        [make_alert(t, source=s, category=c) for t, c, s in items]
+    )
+)
+
+
+@given(alert_streams)
+@settings(max_examples=200)
+def test_property_output_is_subsequence_of_input(alerts):
+    kept = log_filter_list(alerts)
+    it = iter(alerts)
+    assert all(any(k is a for a in it) for k in kept)
+
+
+@given(alert_streams)
+@settings(max_examples=200)
+def test_property_first_alert_always_kept(alerts):
+    kept = log_filter_list(alerts)
+    if alerts:
+        assert kept and kept[0] is alerts[0]
+
+
+@given(alert_streams, st.floats(min_value=0.1, max_value=50))
+@settings(max_examples=200)
+def test_property_kept_same_category_gaps_at_least_t(alerts, threshold):
+    kept = log_filter_list(alerts, threshold)
+    last = {}
+    for alert in kept:
+        if alert.category in last:
+            assert alert.timestamp - last[alert.category] >= threshold
+        last[alert.category] = alert.timestamp
+
+
+@given(alert_streams)
+@settings(max_examples=100)
+def test_property_idempotent(alerts):
+    once = log_filter_list(alerts)
+    twice = log_filter_list(once)
+    assert twice == once
+
+
+@given(alert_streams, st.floats(min_value=0.1, max_value=20),
+       st.floats(min_value=0.1, max_value=20))
+@settings(max_examples=100)
+def test_property_monotone_in_threshold(alerts, t_small, t_large):
+    """A larger threshold never keeps more alerts."""
+    lo, hi = sorted([t_small, t_large])
+    assert len(log_filter_list(alerts, hi)) <= len(log_filter_list(alerts, lo))
+
+
+def _reference_filter(alerts, threshold):
+    """Differential-testing oracle: because suppressed alerts refresh the
+    clock, Algorithm 3.1 reduces to 'keep iff the gap to the immediately
+    preceding same-category alert (any source) is >= T'."""
+    last = {}
+    kept = []
+    for alert in alerts:
+        previous = last.get(alert.category)
+        last[alert.category] = alert.timestamp
+        if previous is None or alert.timestamp - previous >= threshold:
+            kept.append(alert)
+    return kept
+
+
+@given(alert_streams, st.floats(min_value=0.1, max_value=50))
+@settings(max_examples=200)
+def test_property_differential_against_reference(alerts, threshold):
+    """The full Algorithm 3.1 (with its clear(X) step) must agree with the
+    simple per-category-gap oracle on every input."""
+    assert [id(a) for a in log_filter_list(alerts, threshold)] == [
+        id(a) for a in _reference_filter(alerts, threshold)
+    ]

@@ -1,0 +1,150 @@
+"""Unit tests for the online log monitor."""
+
+import pytest
+
+from repro.core.categories import AlertType, CategoryDef, Ruleset
+from repro.core.monitor import Disposition, LogMonitor
+from repro.logmodel.record import LogRecord
+from repro.simulation.opcontext import ContextTimeline, OperationalState
+
+DAY = 86400.0
+
+
+def _ruleset():
+    return Ruleset(
+        system="test",
+        categories=(
+            CategoryDef(
+                name="DISK", system="test", alert_type=AlertType.HARDWARE,
+                pattern=r"disk failure",
+            ),
+            CategoryDef(
+                name="EXITED", system="test", alert_type=AlertType.INDETERMINATE,
+                pattern=r"exited normally",
+            ),
+        ),
+    )
+
+
+def _record(t, body, source="n1"):
+    return LogRecord(
+        timestamp=t, source=source, facility="", body=body, system="test",
+    )
+
+
+class TestBasicFlow:
+    def test_non_alert_records_emit_nothing(self):
+        monitor = LogMonitor(_ruleset())
+        assert monitor.observe(_record(1.0, "all quiet")) is None
+        assert monitor.stats.records_seen == 1
+        assert monitor.stats.alerts_tagged == 0
+
+    def test_fresh_alert_pages(self):
+        monitor = LogMonitor(_ruleset())
+        event = monitor.observe(_record(1.0, "disk failure on sda"))
+        assert event is not None
+        assert event.disposition is Disposition.PAGE
+        assert event.category == "DISK"
+        assert monitor.stats.pages == 1
+
+    def test_redundant_alerts_suppressed(self):
+        monitor = LogMonitor(_ruleset())
+        assert monitor.observe(_record(1.0, "disk failure")) is not None
+        assert monitor.observe(_record(2.0, "disk failure")) is None
+        assert monitor.observe(_record(3.0, "disk failure")) is None
+
+    def test_next_fresh_event_reports_suppressed_count(self):
+        monitor = LogMonitor(_ruleset())
+        monitor.observe(_record(1.0, "disk failure"))
+        monitor.observe(_record(2.0, "disk failure"))
+        monitor.observe(_record(3.0, "disk failure"))
+        event = monitor.observe(_record(100.0, "disk failure"))
+        assert event is not None
+        assert event.suppressed_count == 2
+
+
+class TestStorms:
+    def test_storm_event_once_per_chain(self):
+        monitor = LogMonitor(_ruleset(), storm_threshold=5)
+        monitor.observe(_record(0.0, "disk failure"))
+        events = [
+            monitor.observe(_record(0.5 * (k + 1), "disk failure"))
+            for k in range(20)
+        ]
+        storms = [e for e in events if e is not None]
+        assert len(storms) == 1
+        assert storms[0].disposition is Disposition.STORM
+        assert storms[0].suppressed_count == 5
+        assert monitor.stats.storms == 1
+
+    def test_storm_threshold_validation(self):
+        with pytest.raises(ValueError):
+            LogMonitor(_ruleset(), storm_threshold=0)
+
+
+class TestDisambiguation:
+    def _timeline(self):
+        timeline = ContextTimeline(0.0, 10 * DAY)
+        timeline.add_transition(
+            5 * DAY, OperationalState.SCHEDULED_DOWNTIME, "maintenance"
+        )
+        return timeline
+
+    def test_ambiguous_without_context_is_review(self):
+        monitor = LogMonitor(_ruleset(), ambiguous_categories=["EXITED"])
+        event = monitor.observe(_record(1.0, "ciodb exited normally"))
+        assert event.disposition is Disposition.REVIEW
+
+    def test_ambiguous_in_downtime_is_log_only(self):
+        monitor = LogMonitor(
+            _ruleset(), timeline=self._timeline(),
+            ambiguous_categories=["EXITED"],
+        )
+        event = monitor.observe(
+            _record(6 * DAY, "ciodb exited normally")
+        )
+        assert event.disposition is Disposition.LOG_ONLY
+
+    def test_ambiguous_in_production_pages(self):
+        monitor = LogMonitor(
+            _ruleset(), timeline=self._timeline(),
+            ambiguous_categories=["EXITED"],
+        )
+        event = monitor.observe(_record(1 * DAY, "ciodb exited normally"))
+        assert event.disposition is Disposition.PAGE
+
+    def test_unambiguous_category_ignores_context(self):
+        monitor = LogMonitor(
+            _ruleset(), timeline=self._timeline(),
+            ambiguous_categories=["EXITED"],
+        )
+        event = monitor.observe(_record(6 * DAY, "disk failure"))
+        assert event.disposition is Disposition.PAGE
+
+
+class TestRunOverStream:
+    def test_run_yields_events_in_order(self):
+        monitor = LogMonitor(_ruleset())
+        records = [
+            _record(1.0, "disk failure"),
+            _record(2.0, "noise"),
+            _record(100.0, "disk failure"),
+        ]
+        events = list(monitor.run(records))
+        assert [e.timestamp for e in events] == [1.0, 100.0]
+
+    def test_monitor_agrees_with_batch_pipeline(self, liberty_result):
+        """Online monitoring must produce exactly the batch filter's
+        survivors (plus storms, which the batch path has no analog for)."""
+        from repro.core.rules import get_ruleset
+        from repro.simulation.generator import generate_log
+
+        from ..conftest import SEED, SMALL_SCALE
+
+        monitor = LogMonitor(
+            get_ruleset("liberty"), storm_threshold=10**9,
+        )
+        records = generate_log("liberty", scale=SMALL_SCALE, seed=SEED).records
+        events = list(monitor.run(records))
+        assert len(events) == liberty_result.filtered_alert_count
+        assert monitor.stats.alerts_tagged == liberty_result.raw_alert_count

@@ -1,0 +1,205 @@
+"""Tests over the 77 expert rules: coverage, self-match, non-collision.
+
+These pin the reproduction to the paper's Table 2/4 structure: category
+counts per system, the 41+10+12+8+6 split, type assignments, and the
+bidirectional contract between generators and rules (every generated body
+matches its own rule; no background template matches any rule).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.categories import AlertType
+from repro.core.rules import RULESETS, TOTAL_CATEGORIES, get_ruleset
+from repro.core.rules.bgl import OTHER_NAMES
+from repro.core.tagging import Tagger
+from repro.logmodel.record import Channel, LogRecord
+from repro.simulation.background import pool_for
+from repro.simulation.calibration import SCENARIOS
+
+EXPECTED_COUNTS = {
+    "bgl": 41,
+    "thunderbird": 10,
+    "redstorm": 12,
+    "spirit": 8,
+    "liberty": 6,
+}
+
+
+def test_total_is_77_categories():
+    assert TOTAL_CATEGORIES == 77
+
+
+@pytest.mark.parametrize("system,count", sorted(EXPECTED_COUNTS.items()))
+def test_per_system_category_counts(system, count):
+    assert len(get_ruleset(system)) == count
+
+
+def test_bgl_has_31_others():
+    assert len(OTHER_NAMES) == 31
+
+
+def test_unknown_system_raises():
+    with pytest.raises(KeyError, match="valid"):
+        get_ruleset("asci-red")
+
+
+@pytest.mark.parametrize("system", sorted(RULESETS))
+def test_every_rule_matches_its_own_bodies(system):
+    """Generator -> tagger round trip: each category's body factory output
+    is tagged back to that same category (no shadowing by earlier rules)."""
+    rng = np.random.default_rng(99)
+    ruleset = get_ruleset(system)
+    tagger = Tagger(ruleset)
+    for category in ruleset:
+        for _ in range(5):
+            body = category.make_body(rng)
+            if category.channel is Channel.RAS_TCP:
+                body = f"src:::c0-0c0s0n0 svc:::c0-0c0s0n0 {body}"
+            record = LogRecord(
+                timestamp=1.0,
+                source="node1",
+                facility=category.facility,
+                body=body,
+                system=system,
+                severity=category.severity,
+                channel=category.channel,
+            )
+            matched = tagger.match(record)
+            assert matched is not None, (category.name, record.full_text())
+            assert matched.name == category.name, (
+                f"{category.name} shadowed by {matched.name}"
+            )
+
+
+@pytest.mark.parametrize("system", sorted(RULESETS))
+def test_examples_match_their_own_rule(system):
+    """The Table 4 example strings themselves are taggable."""
+    ruleset = get_ruleset(system)
+    tagger = Tagger(ruleset)
+    for category in ruleset:
+        record = LogRecord(
+            timestamp=1.0,
+            source="node1",
+            facility=category.facility,
+            body=category.example
+            if category.channel is not Channel.RAS_TCP
+            else f"src:::n0 svc:::n0 {category.example}",
+            system=system,
+            severity=category.severity,
+            channel=category.channel,
+        )
+        matched = tagger.match(record)
+        assert matched is not None and matched.name == category.name
+
+
+@pytest.mark.parametrize("system", sorted(RULESETS))
+def test_background_never_matches_any_rule(system):
+    """Non-alert chaff must stay untaggable, or Table 2's alert counts
+    would drift with background volume."""
+    tagger = Tagger(get_ruleset(system))
+    scenario = SCENARIOS[system]
+    for spec in scenario.background:
+        pool = pool_for(system, spec.severity, spec.channel)
+        for facility, body in pool:
+            record_body = body
+            if spec.channel is Channel.RAS_TCP:
+                record_body = f"src:::n0 svc:::n0 {body}"
+            record = LogRecord(
+                timestamp=1.0,
+                source="node1",
+                facility=facility,
+                body=record_body,
+                system=system,
+                severity=spec.severity,
+                channel=spec.channel,
+            )
+            matched = tagger.match(record)
+            assert matched is None, (
+                f"background {facility}: {body!r} tagged as {matched and matched.name}"
+            )
+
+
+def test_bgl_severity_split_matches_table5():
+    """All BG/L alert rules carry FATAL except MASNORM (FAILURE) — the
+    348,398 + 62 split of Table 5."""
+    for category in get_ruleset("bgl"):
+        if category.name == "MASNORM":
+            assert category.severity == "FAILURE"
+        else:
+            assert category.severity == "FATAL"
+
+
+def test_redstorm_severity_assignments_match_table6():
+    """BUS_PAR is the CRIT disk storm; Lustre errors are ERR; watchdogs
+    WARNING; RAS-path events carry no severity."""
+    ruleset = get_ruleset("redstorm")
+    assert ruleset.get("BUS_PAR").severity == "CRIT"
+    for name in ("PTL_EXP", "PTL_ERR", "RBB", "OST"):
+        assert ruleset.get(name).severity == "ERR"
+    for name in ("EW", "WT"):
+        assert ruleset.get(name).severity == "WARNING"
+    for name in ("HBEAT", "TOAST"):
+        assert ruleset.get(name).severity is None
+        assert ruleset.get(name).channel is Channel.RAS_TCP
+
+
+def test_sandia_commodity_systems_record_no_severity():
+    """Thunderbird, Spirit, and Liberty 'did not even record this
+    information' (Section 3.2)."""
+    for system in ("thunderbird", "spirit", "liberty"):
+        for category in get_ruleset(system):
+            assert category.severity is None
+
+
+def test_type_assignments_from_table4():
+    """Spot-check the H/S/I codes the paper's Table 4 lists."""
+    checks = [
+        ("bgl", "KERNDTLB", AlertType.HARDWARE),
+        ("bgl", "APPSEV", AlertType.SOFTWARE),
+        ("bgl", "APPUNAV", AlertType.INDETERMINATE),
+        ("thunderbird", "VAPI", AlertType.INDETERMINATE),
+        ("thunderbird", "ECC", AlertType.HARDWARE),
+        ("redstorm", "BUS_PAR", AlertType.HARDWARE),
+        ("redstorm", "HBEAT", AlertType.INDETERMINATE),
+        ("spirit", "EXT_CCISS", AlertType.HARDWARE),
+        ("spirit", "PBS_CHK", AlertType.SOFTWARE),
+        ("liberty", "GM_PAR", AlertType.HARDWARE),
+        ("liberty", "PBS_CHK", AlertType.SOFTWARE),
+    ]
+    for system, name, expected in checks:
+        assert get_ruleset(system).get(name).alert_type is expected
+
+
+def test_bgl_others_are_all_indeterminate():
+    """Table 4 aggregates them as 'I / 31 Others'."""
+    ruleset = get_ruleset("bgl")
+    for name in OTHER_NAMES:
+        assert ruleset.get(name).alert_type is AlertType.INDETERMINATE
+
+
+def test_paper_awk_rule_examples_still_hold():
+    """Section 3.2 lists three example admin rules; our rulesets tag the
+    same texts."""
+    spirit = Tagger(get_ruleset("spirit"))
+    record = LogRecord(
+        timestamp=1.0, source="sn1", facility="kernel",
+        body="EXT3-fs error (device cciss/c0d0p5)", system="spirit",
+    )
+    assert spirit.match(record).name == "EXT_FS"
+
+    redstorm = Tagger(get_ruleset("redstorm"))
+    record = LogRecord(
+        timestamp=1.0, source="c0-0c0s0n0", facility="ec_console_log",
+        body="src:::n0 svc:::n0 PANIC_SP WE ARE TOASTED!", system="redstorm",
+        channel=Channel.RAS_TCP,
+    )
+    assert redstorm.match(record).name == "TOAST"
+
+    bgl = Tagger(get_ruleset("bgl"))
+    record = LogRecord(
+        timestamp=1.0, source="R00-M0-N0", facility="KERNEL",
+        body="kernel panic", system="bgl", severity="FATAL",
+        channel=Channel.JTAG_MAILBOX,
+    )
+    assert bgl.match(record).name == "KERNPAN"

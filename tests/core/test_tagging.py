@@ -1,0 +1,158 @@
+"""Unit tests for the tagging engine."""
+
+from repro.core.categories import AlertType, CategoryDef, Ruleset
+from repro.core.tagging import (
+    Tagger,
+    count_by_category,
+    count_by_type,
+    observed_categories,
+)
+from repro.logmodel.record import LogRecord
+
+
+def _ruleset():
+    return Ruleset(
+        system="test",
+        categories=(
+            CategoryDef(
+                name="SPECIFIC", system="test",
+                alert_type=AlertType.HARDWARE,
+                pattern=r"disk error on sda", facility="kernel",
+            ),
+            CategoryDef(
+                name="GENERAL", system="test",
+                alert_type=AlertType.SOFTWARE,
+                pattern=r"disk error", facility="kernel",
+            ),
+        ),
+    )
+
+
+def _record(body, **overrides):
+    defaults = dict(
+        timestamp=1.0, source="n1", facility="kernel", body=body,
+        system="test",
+    )
+    defaults.update(overrides)
+    return LogRecord(**defaults)
+
+
+class TestTagger:
+    def test_first_match_wins(self):
+        """logsurfer semantics: the more specific rule listed first wins."""
+        tagger = Tagger(_ruleset())
+        assert tagger.match(_record("disk error on sda")).name == "SPECIFIC"
+        assert tagger.match(_record("disk error on sdb")).name == "GENERAL"
+
+    def test_non_matching_record_is_none(self):
+        tagger = Tagger(_ruleset())
+        assert tagger.tag(_record("all quiet")) is None
+
+    def test_pattern_sees_facility_prefix(self):
+        ruleset = Ruleset(
+            system="test",
+            categories=(
+                CategoryDef(
+                    name="PBS", system="test",
+                    alert_type=AlertType.SOFTWARE,
+                    pattern=r"^pbs_mom: task_check",
+                ),
+            ),
+        )
+        tagger = Tagger(ruleset)
+        hit = _record("task_check, cannot tm_reply", facility="pbs_mom")
+        miss = _record("task_check, cannot tm_reply", facility="kernel")
+        assert tagger.match(hit) is not None
+        assert tagger.match(miss) is None
+
+    def test_corrupted_record_can_still_be_tagged(self):
+        """A truncated line that kept its signature is still an alert
+        (Section 3.2.1's corrupted VAPI variants)."""
+        tagger = Tagger(_ruleset())
+        record = _record("disk error on").with_corruption(body="disk error on")
+        assert tagger.match(record).name == "GENERAL"
+
+    def test_tag_stream_yields_only_alerts(self):
+        tagger = Tagger(_ruleset())
+        records = [_record("quiet"), _record("disk error"), _record("quiet")]
+        alerts = list(tagger.tag_stream(records))
+        assert len(alerts) == 1
+        assert alerts[0].category == "GENERAL"
+
+    def test_tag_stream_with_stats(self):
+        tagger = Tagger(_ruleset())
+        records = [
+            _record("quiet"),
+            _record("disk error"),
+            _record("junk").with_corruption(body="junk"),
+        ]
+        alerts = list(tagger.tag_stream_with_stats(records))
+        assert len(alerts) == 1
+        assert tagger.last_stats == {
+            "messages": 3, "alerts": 1, "corrupted": 1,
+        }
+
+
+class TestPrefilterEquivalence:
+    def test_prefilter_preserves_first_match_semantics(self):
+        """The combined-alternation reject filter must never change which
+        rule wins — differential check against a prefilter-free scan over
+        every ruleset's generated bodies and background chaff."""
+        import numpy as np
+
+        from repro.core.rules import RULESETS
+        from repro.logmodel.record import Channel
+        from repro.simulation.background import pool_for
+        from repro.simulation.calibration import SCENARIOS
+
+        rng = np.random.default_rng(2)
+        for system, ruleset in RULESETS.items():
+            tagger = Tagger(ruleset)
+            reference = Tagger(ruleset)
+            reference._prefilter = None  # disable the fast path
+            probes = []
+            for cat in ruleset:
+                body = cat.make_body(rng)
+                if cat.channel is Channel.RAS_TCP:
+                    body = f"src:::n0 svc:::n0 {body}"
+                probes.append(
+                    LogRecord(
+                        timestamp=1.0, source="n1", facility=cat.facility,
+                        body=body, system=system, severity=cat.severity,
+                        channel=cat.channel,
+                    )
+                )
+            for spec in SCENARIOS[system].background:
+                for facility, body in pool_for(system, spec.severity,
+                                               spec.channel):
+                    probes.append(
+                        LogRecord(
+                            timestamp=1.0, source="n1", facility=facility,
+                            body=body, system=system,
+                        )
+                    )
+            for record in probes:
+                fast = tagger.match(record)
+                slow = reference.match(record)
+                assert (fast is None) == (slow is None)
+                if fast is not None:
+                    assert fast.name == slow.name
+
+
+class TestCounters:
+    def _alerts(self):
+        tagger = Tagger(_ruleset())
+        bodies = ["disk error on sda", "disk error", "disk error", "quiet"]
+        return list(tagger.tag_stream(_record(b) for b in bodies))
+
+    def test_count_by_category(self):
+        assert count_by_category(self._alerts()) == {
+            "SPECIFIC": 1, "GENERAL": 2,
+        }
+
+    def test_count_by_type(self):
+        assert count_by_type(self._alerts()) == {"H": 1, "S": 2}
+
+    def test_observed_categories(self):
+        assert observed_categories(self._alerts()) == 2
+        assert observed_categories([]) == 0

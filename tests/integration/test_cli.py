@@ -1,0 +1,102 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.logio.reader import count_lines
+
+
+@pytest.fixture(scope="module")
+def generated_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "liberty.log"
+    code = main([
+        "generate", "liberty", "--scale", "2e-5", "--seed", "3",
+        "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_lines(self, generated_log):
+        assert count_lines(generated_log) > 1000
+
+    def test_gzip(self, tmp_path):
+        path = tmp_path / "lib.log.gz"
+        code = main([
+            "generate", "liberty", "--scale", "1e-5", "--seed", "3",
+            "--out", str(path), "--gzip",
+        ])
+        assert code == 0
+        assert path.stat().st_size > 0
+
+
+class TestAnalyze:
+    def test_summary_and_categories(self, generated_log, capsys):
+        code = main([
+            "analyze", str(generated_log), "--system", "liberty",
+            "--year", "2004",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alerts (filtered)" in out
+        assert "PBS_CHK" in out
+
+    def test_full_report_flag(self, generated_log, capsys):
+        code = main([
+            "analyze", str(generated_log), "--system", "liberty",
+            "--year", "2004", "--full",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Failure attribution" in out
+        assert "Interarrival characterization" in out
+
+    def test_threshold_flag(self, generated_log, capsys):
+        code = main([
+            "analyze", str(generated_log), "--system", "liberty",
+            "--year", "2004", "--threshold", "600",
+        ])
+        assert code == 0
+        assert "T=600" in capsys.readouterr().out
+
+
+class TestAnonymize:
+    def test_round_trip(self, generated_log, tmp_path, capsys):
+        out_path = tmp_path / "anon.log"
+        code = main([
+            "anonymize", str(generated_log), "--system", "liberty",
+            "--out", str(out_path), "--key", "s3cret", "--year", "2004",
+        ])
+        assert code == 0
+        assert count_lines(out_path) == count_lines(generated_log)
+        original = generated_log.read_text()
+        anonymized = out_path.read_text()
+        assert "ladmin1" in original
+        assert "ladmin1" not in anonymized
+
+
+class TestMine:
+    def test_templates_reported(self, generated_log, capsys):
+        code = main([
+            "mine", str(generated_log), "--system", "liberty",
+            "--year", "2004", "--min-support", "50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "templates cover" in out
+        assert "task_check," in out
+
+
+class TestStudy:
+    def test_all_tables_printed(self, capsys):
+        code = main(["study", "--scale", "1e-5", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1." in out
+        assert "Table 6." in out
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(SystemExit):
+        main(["generate", "asci-red", "--out", "/tmp/x.log"])

@@ -1,0 +1,93 @@
+"""Unit tests for the per-category predictor ensemble."""
+
+import numpy as np
+
+from repro.prediction.ensemble import PredictorEnsemble
+from repro.prediction.features import AlertHistory
+
+from ..conftest import make_alert
+
+
+def _two_signature_history():
+    """Two failure categories with *different* signatures, repeating
+    identically across train/validation/test thirds:
+
+    * SIGNALED failures are always preceded by a PRE alert ~5 min earlier
+      (precursor-predictable);
+    * RANDOM failures arrive alone (no signature).
+    """
+    rng = np.random.default_rng(21)
+    alerts = []
+    t = 0.0
+    for _ in range(60):
+        t += float(rng.uniform(2e4, 4e4))
+        alerts.append(make_alert(t, category="PRE"))
+        alerts.append(make_alert(t + 300.0, category="SIGNALED"))
+    t = 500.0
+    for _ in range(60):
+        t += float(rng.uniform(2e4, 4e4))
+        alerts.append(make_alert(t, category="RANDOM"))
+    return AlertHistory(alerts)
+
+
+class TestEnsemble:
+    def test_routes_signaled_category_to_precursor(self):
+        history = _two_signature_history()
+        t0, t1 = history.first_time(), history.last_time()
+        cut1 = t0 + (t1 - t0) * 0.5
+        cut2 = t0 + (t1 - t0) * 0.75
+        ensemble = PredictorEnsemble(min_f1=0.3)
+        ensemble.fit(history, (t0, cut1), (cut1, cut2))
+        assert "SIGNALED" in ensemble.members
+        assert ensemble.members["SIGNALED"].kind == "precursor"
+
+    def test_unsignatured_category_gets_no_member(self):
+        """'Different categories of failures have different predictive
+        signatures (if any)' — RANDOM has none, so the ensemble must stay
+        silent rather than alarm on noise."""
+        history = _two_signature_history()
+        t0, t1 = history.first_time(), history.last_time()
+        cut1 = t0 + (t1 - t0) * 0.5
+        cut2 = t0 + (t1 - t0) * 0.75
+        ensemble = PredictorEnsemble(min_f1=0.3)
+        ensemble.fit(history, (t0, cut1), (cut1, cut2))
+        assert "RANDOM" not in ensemble.members
+
+    def test_test_span_scores(self):
+        history = _two_signature_history()
+        t0, t1 = history.first_time(), history.last_time()
+        cut1 = t0 + (t1 - t0) * 0.5
+        cut2 = t0 + (t1 - t0) * 0.75
+        ensemble = PredictorEnsemble(min_f1=0.3)
+        ensemble.fit(history, (t0, cut1), (cut1, cut2))
+        scores = ensemble.score(history, cut2, t1)
+        assert scores["SIGNALED"].recall > 0.7
+        assert scores["SIGNALED"].precision > 0.7
+
+    def test_warnings_merged_and_sorted(self):
+        history = _two_signature_history()
+        t0, t1 = history.first_time(), history.last_time()
+        cut1 = t0 + (t1 - t0) * 0.5
+        cut2 = t0 + (t1 - t0) * 0.75
+        ensemble = PredictorEnsemble(min_f1=0.3)
+        ensemble.fit(history, (t0, cut1), (cut1, cut2))
+        warnings = ensemble.warnings(history, cut2, t1)
+        times = [w.t for w in warnings]
+        assert times == sorted(times)
+
+    def test_summary_renders(self):
+        history = _two_signature_history()
+        t0, t1 = history.first_time(), history.last_time()
+        cut1 = t0 + (t1 - t0) * 0.5
+        cut2 = t0 + (t1 - t0) * 0.75
+        ensemble = PredictorEnsemble(min_f1=0.3)
+        ensemble.fit(history, (t0, cut1), (cut1, cut2))
+        text = ensemble.summary()
+        assert "SIGNALED" in text
+
+    def test_sparse_categories_skipped(self):
+        history = AlertHistory([make_alert(1.0, category="ONCE")])
+        ensemble = PredictorEnsemble()
+        ensemble.fit(history, (0.0, 0.5), (0.5, 2.0))
+        assert ensemble.members == {}
+        assert "(none" in ensemble.summary()

@@ -1,0 +1,126 @@
+"""Unit tests for the concrete predictors."""
+
+import numpy as np
+
+from repro.prediction.base import evaluate
+from repro.prediction.features import AlertHistory
+from repro.prediction.predictors import (
+    BurstPredictor,
+    PrecursorPredictor,
+    SeverityPredictor,
+)
+from repro.core.categories import Alert, AlertType
+from repro.logmodel.record import LogRecord
+
+from ..conftest import make_alert
+
+
+def _severity_alert(t, severity, category="X"):
+    record = LogRecord(
+        timestamp=t, source="n1", facility="kernel", body="x",
+        severity=severity,
+    )
+    return Alert(
+        timestamp=t, source="n1", category=category,
+        alert_type=AlertType.SOFTWARE, record=record,
+    )
+
+
+def _bursty_history():
+    """Quiet background + one dense burst preceding each 'failure'."""
+    rng = np.random.default_rng(9)
+    alerts = []
+    # background: one alert every ~2000 s
+    for t in np.cumsum(rng.exponential(2000.0, 200)):
+        alerts.append(make_alert(float(t), category="NOISE"))
+    # three bursts of 30 precursor alerts, each followed by a failure
+    failures = []
+    for base in (1e5, 2e5, 3e5):
+        for k in range(30):
+            alerts.append(make_alert(base + k * 5.0, category="PRE"))
+        failures.append(base + 600.0)
+        alerts.append(make_alert(base + 600.0, category="TARGET"))
+    return AlertHistory(alerts), failures
+
+
+class TestBurstPredictor:
+    def test_fires_on_bursts_only(self):
+        history, failures = _bursty_history()
+        predictor = BurstPredictor("TARGET", window=300.0, sigma=5.0)
+        predictor.train(history, 0.0, 5e4)  # quiet span
+        warnings = predictor.warnings(history, 5e4, 4e5)
+        assert warnings, "bursts must trigger the predictor"
+        score = evaluate(warnings, failures, "TARGET",
+                         lead_min=10, lead_max=1200)
+        assert score.recall == 1.0
+
+    def test_silent_on_quiet_stream(self):
+        rng = np.random.default_rng(10)
+        alerts = [
+            make_alert(float(t))
+            for t in np.cumsum(rng.exponential(3000.0, 100))
+        ]
+        history = AlertHistory(alerts)
+        predictor = BurstPredictor("X", window=300.0, sigma=6.0)
+        predictor.train(history, 0.0, 1e5)
+        assert predictor.warnings(history, 1e5, 3e5) == []
+
+    def test_refractory_dedupe(self):
+        history, _ = _bursty_history()
+        predictor = BurstPredictor(
+            "TARGET", window=300.0, sigma=5.0, refractory=1e9,
+        )
+        predictor.train(history, 0.0, 5e4)
+        assert len(predictor.warnings(history, 5e4, 4e5)) == 1
+
+
+class TestSeverityPredictor:
+    def test_warns_on_high_severity(self):
+        alerts = [
+            _severity_alert(100.0, "FATAL"),
+            _severity_alert(5000.0, "INFO"),
+        ]
+        history = AlertHistory(alerts)
+        predictor = SeverityPredictor("X")
+        warnings = predictor.warnings(history, 0.0, 1e4)
+        assert [w.t for w in warnings] == [100.0]
+
+    def test_blind_without_severity_field(self):
+        """On Thunderbird/Spirit/Liberty the field does not exist: the
+        baseline cannot warn at all."""
+        history = AlertHistory([make_alert(100.0)])
+        predictor = SeverityPredictor("X")
+        assert predictor.warnings(history, 0.0, 1e4) == []
+
+
+class TestPrecursorPredictor:
+    def test_learns_planted_precursor(self):
+        history, failures = _bursty_history()
+        predictor = PrecursorPredictor("TARGET", lead=1200.0)
+        predictor.train(history, 0.0, 4e5)
+        assert "PRE" in predictor.precursors
+        assert "NOISE" not in predictor.precursors
+
+    def test_warns_on_precursors(self):
+        history, failures = _bursty_history()
+        predictor = PrecursorPredictor("TARGET", lead=1200.0, refractory=100.0)
+        predictor.train(history, 0.0, 4e5)
+        warnings = predictor.warnings(history, 0.0, 4e5)
+        score = evaluate(warnings, failures, "TARGET",
+                         lead_min=10, lead_max=1200)
+        assert score.recall == 1.0
+        assert score.precision > 0.5
+
+    def test_silent_without_signature(self):
+        """'Some failures leave no sign': no precursors learned means no
+        warnings, not noise."""
+        rng = np.random.default_rng(11)
+        alerts = [
+            make_alert(float(t), category="TARGET")
+            for t in np.cumsum(rng.exponential(5e4, 20))
+        ]
+        history = AlertHistory(alerts)
+        predictor = PrecursorPredictor("TARGET")
+        predictor.train(history, 0.0, 1e6)
+        assert predictor.precursors == {}
+        assert predictor.warnings(history, 0.0, 1e6) == []

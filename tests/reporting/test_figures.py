@@ -1,0 +1,115 @@
+"""Tests for the Figure 1-6 renderers over live data."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.interarrival import interarrival_times, log_histogram
+from repro.analysis.timeseries import bucket_counts, messages_by_source
+from repro.logmodel.record import LogRecord
+from repro.reporting.figures import (
+    figure1,
+    figure2a,
+    figure2b,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.simulation.opcontext import synthesize_timeline
+
+from ..conftest import make_alert
+
+
+class TestFigure1:
+    def test_renders_timeline(self):
+        timeline = synthesize_timeline(
+            np.random.default_rng(1), 0.0, 200 * 86400.0
+        )
+        text = figure1(timeline)
+        assert "production fraction" in text
+        assert "production-uptime" in text
+
+    def test_truncates_long_histories(self):
+        timeline = synthesize_timeline(
+            np.random.default_rng(2), 0.0, 3650 * 86400.0,
+            mean_days_between_outages=5.0,
+        )
+        text = figure1(timeline, max_intervals=5)
+        assert "more intervals" in text
+
+
+class TestFigure2:
+    def test_2a_sparkline_and_shifts(self):
+        rng = np.random.default_rng(3)
+        values = np.concatenate([rng.poisson(30, 200), rng.poisson(120, 200)])
+        times = np.repeat(np.arange(400) * 3600.0, values)
+        series = bucket_counts(times, 3600.0)
+        text = figure2a(series)
+        assert "Messages per hour" in text
+        assert "shift at" in text
+
+    def test_2a_quiet_series(self):
+        series = bucket_counts(np.arange(0, 100) * 3600.0, 3600.0)
+        assert "no phase shifts" in figure2a(series)
+
+    def test_2b_ranked_sources(self):
+        records = [
+            LogRecord(timestamp=0.0, source=s, facility="f", body="x")
+            for s in ["admin"] * 10 + ["n1"] * 2 + ["\x00\x02"]
+        ]
+        text = figure2b(messages_by_source(records))
+        assert text.index("admin") < text.index("n1")
+        assert "<corrupted>" in text
+        assert "unattributed" in text
+
+
+class TestFigure3:
+    def test_renders_two_rows(self, liberty_result):
+        text = figure3(liberty_result.raw_alerts)
+        assert "GM_PAR" in text
+        assert "GM_LANAI" in text
+        assert "coincidences" in text
+
+    def test_empty(self):
+        assert "no alerts" in figure3([])
+
+
+class TestFigure4:
+    def test_rows_sorted_by_count(self, liberty_result):
+        text = figure4(liberty_result.filtered_alerts)
+        assert text.index("PBS_CHK") < text.index("GM_MAP")
+
+    def test_empty(self):
+        assert "no alerts" in figure4([])
+
+
+class TestFigure5:
+    def test_renders_cdf_and_fits(self):
+        rng = np.random.default_rng(5)
+        times = np.cumsum(rng.exponential(3600.0, 150))
+        alerts = [make_alert(float(t), category="ECC") for t in times]
+        text = figure5(alerts)
+        assert "empirical CDF" in text
+        assert "best-fitting model" in text
+        assert "exponential" in text
+
+    def test_too_few_alerts(self):
+        assert "too few" in figure5([make_alert(0.0), make_alert(1.0)])
+
+
+class TestFigure6:
+    def test_reports_modality_per_system(self):
+        rng = np.random.default_rng(6)
+        bimodal_gaps = np.concatenate(
+            [rng.lognormal(1.0, 0.3, 300), rng.lognormal(9.0, 0.3, 100)]
+        )
+        unimodal_gaps = rng.lognormal(5.0, 0.5, 300)
+        text = figure6(
+            {
+                "bgl": log_histogram(bimodal_gaps),
+                "spirit": log_histogram(unimodal_gaps),
+            }
+        )
+        assert "bgl: " in text
+        assert "bimodal=True" in text
+        assert "bimodal=False" in text

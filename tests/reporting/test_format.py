@@ -1,0 +1,82 @@
+"""Unit tests for text-rendering primitives."""
+
+from repro.reporting.format import (
+    bar,
+    format_float,
+    format_int,
+    format_pct,
+    histogram_rows,
+    render_table,
+    sparkline,
+)
+
+
+class TestNumbers:
+    def test_format_int(self):
+        assert format_int(1234567) == "1,234,567"
+
+    def test_format_float(self):
+        assert format_float(1234.5678) == "1,234.57"
+        assert format_float(1.5, digits=0) == "2"
+
+    def test_format_pct(self):
+        assert format_pct(98.039) == "98.04%"
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(10, 10, width=4) == "████"
+        assert bar(0, 10) == ""
+        assert bar(5, 0) == ""
+
+    def test_proportional(self):
+        half = bar(5, 10, width=10)
+        assert 4 <= len(half.rstrip()) <= 6
+
+    def test_clamps_overflow(self):
+        assert len(bar(100, 10, width=4)) == 4
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ("Name", "Count"),
+            [("alpha", "10"), ("b", "2,000")],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Name" in lines[2]
+        # Numeric column right-aligned: widths line up.
+        assert lines[4].endswith("10")
+        assert lines[5].endswith("2,000")
+
+    def test_no_title(self):
+        text = render_table(("A",), [("x",)])
+        assert text.splitlines()[0] == "A"
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        assert len(sparkline(list(range(500)), width=72)) == 72
+
+    def test_short_input(self):
+        assert len(sparkline([1, 2, 3], width=72)) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_zero(self):
+        assert sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_peak_is_tallest(self):
+        line = sparkline([1, 1, 100, 1], width=4)
+        assert line[2] == "█"
+
+
+class TestHistogramRows:
+    def test_rows_align_and_count(self):
+        rows = histogram_rows(["a", "bb"], [10, 5], width=10)
+        assert len(rows) == 2
+        assert rows[0].endswith("10")
+        assert rows[1].endswith("5")

@@ -1,0 +1,39 @@
+"""Tests for the full single-system report renderer."""
+
+from repro.pipeline import run_stream
+from repro.reporting.report import system_report
+
+
+class TestSystemReport:
+    def test_sections_present(self, liberty_result):
+        text = system_report(liberty_result)
+        assert "Analysis report: liberty" in text
+        assert "Alert categories" in text
+        assert "Failure attribution" in text
+        assert "Interarrival characterization" in text
+        assert "PBS_CHK" in text
+
+    def test_severity_section_for_bgl(self, bgl_result):
+        text = system_report(bgl_result)
+        assert "Severity distribution" in text
+        assert "FATAL" in text
+
+    def test_no_severity_section_for_commodity_syslog(self, liberty_result):
+        # Liberty records no severity; the section must be omitted, not
+        # rendered empty.
+        assert "Severity distribution" not in system_report(liberty_result)
+
+    def test_correlated_groups_reported(self, liberty_result):
+        text = system_report(liberty_result)
+        assert "GM_LANAI <-> GM_PAR" in text
+
+    def test_empty_log_report(self):
+        result = run_stream(iter([]), "liberty")
+        text = system_report(result)
+        assert "Analysis report: liberty" in text
+        assert "Failure attribution" not in text
+
+    def test_redundancy_column(self, spirit_result):
+        text = system_report(spirit_result)
+        # Spirit's disk categories are >99% redundant.
+        assert "99" in text

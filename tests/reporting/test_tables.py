@@ -1,0 +1,92 @@
+"""Tests for the Table 1-6 renderers over live pipeline results."""
+
+import pytest
+
+from repro.reporting.tables import (
+    all_tables,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+
+class TestTable1:
+    def test_static_contents(self):
+        text = table1()
+        assert "Blue Gene/L" in text
+        assert "131,072" in text
+        assert "Spirit (ICC2)" in text
+        assert "Myrinet" in text
+
+
+class TestTable2:
+    def test_measured_and_reference_columns(self, all_results):
+        text = table2(all_results)
+        assert "Liberty" in text
+        assert "Paper Msgs" in text
+        assert "272,298,969" in text  # Spirit reference messages
+
+    def test_subset_of_systems(self, liberty_result):
+        text = table2({"liberty": liberty_result})
+        assert "Liberty" in text
+        assert "Blue Gene/L" not in text
+
+
+class TestTable3:
+    def test_three_type_rows(self, all_results):
+        text = table3(all_results)
+        for label in ("Hardware", "Software", "Indeterminate"):
+            assert label in text
+        assert "%" in text
+
+
+class TestTable4:
+    def test_per_system_sections_and_categories(self, all_results):
+        text = table4(all_results)
+        assert "H / KERNDTLB" in text
+        assert "I / VAPI" in text
+        assert "S / PBS_CHK" in text
+        assert "I / 31 Others" in text
+        assert "data TLB error interrupt" in text
+
+    def test_full_bgl_listing(self, all_results):
+        text = table4(all_results, aggregate_bgl_others=False)
+        assert "31 Others" not in text
+        assert "KERNPAN" in text
+
+    def test_example_truncation(self, all_results):
+        text = table4(all_results, max_example_chars=20)
+        assert "..." in text
+
+
+class TestTable5:
+    def test_severity_rows(self, bgl_result):
+        text = table5(bgl_result)
+        for label in ("FATAL", "FAILURE", "SEVERE", "ERROR", "WARNING",
+                      "INFO"):
+            assert label in text
+
+    def test_wrong_system_rejected(self, liberty_result):
+        with pytest.raises(ValueError, match="BG/L"):
+            table5(liberty_result)
+
+
+class TestTable6:
+    def test_syslog_severity_rows(self, redstorm_result):
+        text = table6(redstorm_result)
+        for label in ("EMERG", "ALERT", "CRIT", "ERR", "NOTICE", "DEBUG"):
+            assert label in text
+
+    def test_wrong_system_rejected(self, bgl_result):
+        with pytest.raises(ValueError, match="Red Storm"):
+            table6(bgl_result)
+
+
+def test_all_tables_concatenates(all_results):
+    text = all_tables(all_results)
+    assert "Table 1." in text
+    assert "Table 4." in text
+    assert "Table 6." in text

@@ -1,0 +1,150 @@
+"""Unit and property tests for incident planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.calibration import SCENARIOS, PROFILES
+from repro.simulation.cluster import Cluster
+from repro.simulation.failures import Incident, IncidentPlanner, zipf_split
+from repro.simulation.workload import WorkloadModel
+from repro.systems.specs import SYSTEMS
+
+
+class TestZipfSplit:
+    def test_exact_sum_and_positivity(self):
+        rng = np.random.default_rng(0)
+        parts = zipf_split(rng, 1000, 7)
+        assert sum(parts) == 1000
+        assert all(p >= 1 for p in parts)
+        assert len(parts) == 7
+
+    def test_heavy_head(self):
+        rng = np.random.default_rng(0)
+        parts = zipf_split(rng, 100_000, 20)
+        assert max(parts) > 10 * (100_000 // 20) / 10  # far above uniform share...
+        assert max(parts) > 2 * (100_000 // 20)
+
+    def test_total_equals_parts(self):
+        rng = np.random.default_rng(0)
+        assert zipf_split(rng, 5, 5) == [1, 1, 1, 1, 1]
+
+    def test_invalid(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipf_split(rng, 3, 5)
+        with pytest.raises(ValueError):
+            zipf_split(rng, 3, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=5000),
+    )
+    @settings(max_examples=100)
+    def test_property_split_invariants(self, parts, extra):
+        total = parts + extra
+        rng = np.random.default_rng(42)
+        split = zipf_split(rng, total, parts)
+        assert sum(split) == total
+        assert len(split) == parts
+        assert min(split) >= 1
+
+
+@pytest.fixture(scope="module")
+def liberty_planner():
+    scenario = SCENARIOS["liberty"]
+    cluster = Cluster(SYSTEMS["liberty"], max_nodes=256)
+    rng = np.random.default_rng(17)
+    return scenario, IncidentPlanner(scenario, cluster, rng)
+
+
+class TestPlanner:
+    def test_incident_counts_match_filtered_calibration(self, liberty_planner):
+        scenario, planner = liberty_planner
+        incidents = planner.plan(scale=1e-3)
+        by_category = {}
+        for inc in incidents:
+            by_category[inc.category] = by_category.get(inc.category, 0) + 1
+        for cat in scenario.categories:
+            assert by_category[cat.category] == cat.filtered
+
+    def test_raw_totals_match_scaled_calibration(self, liberty_planner):
+        scenario, planner = liberty_planner
+        incidents = planner.plan(scale=0.5)
+        totals = {}
+        for inc in incidents:
+            totals[inc.category] = totals.get(inc.category, 0) + inc.multiplicity
+        for cat in scenario.categories:
+            assert totals[cat.category] == cat.scaled_raw(0.5)
+
+    def test_incidents_time_sorted_and_in_window(self, liberty_planner):
+        scenario, planner = liberty_planner
+        incidents = planner.plan(scale=1e-3)
+        starts = [inc.start for inc in incidents]
+        assert starts == sorted(starts)
+        assert all(
+            scenario.start_epoch <= s <= scenario.end_epoch for s in starts
+        )
+
+    def test_profile_confines_pbs_bug_to_late_quarter(self, liberty_planner):
+        scenario, planner = liberty_planner
+        incidents = planner.plan(scale=1e-3)
+        lo, hi = PROFILES["late_quarter"]
+        span = scenario.end_epoch - scenario.start_epoch
+        for inc in incidents:
+            if inc.category == "PBS_CHK":
+                frac = (inc.start - scenario.start_epoch) / span
+                assert lo <= frac <= hi
+
+    def test_correlated_category_shadows_base(self, liberty_planner):
+        scenario, planner = liberty_planner
+        incidents = planner.plan(scale=1e-3)
+        par = [i for i in incidents if i.category == "GM_PAR"]
+        lanai = [i for i in incidents if i.category == "GM_LANAI"]
+        par_starts = np.array([i.start for i in par])
+        for inc in lanai:
+            lag = inc.start - par_starts
+            # every GM_LANAI incident trails some GM_PAR incident closely
+            assert (lag[(lag > 0)] < 600).any()
+
+    def test_incident_validation(self):
+        with pytest.raises(ValueError):
+            Incident(category="X", start=0.0, multiplicity=0, sources=("n",))
+        with pytest.raises(ValueError):
+            Incident(category="X", start=0.0, multiplicity=1, sources=())
+
+
+class TestHotSource:
+    def test_spirit_sn373_owns_majority_of_disk_alerts(self):
+        scenario = SCENARIOS["spirit"]
+        cluster = Cluster(SYSTEMS["spirit"], max_nodes=514)
+        planner = IncidentPlanner(scenario, cluster, np.random.default_rng(5))
+        incidents = planner.plan(scale=1e-3)
+        disk = [i for i in incidents if i.category in ("EXT_CCISS", "EXT_FS")]
+        total = sum(i.multiplicity for i in disk)
+        hot = sum(
+            i.multiplicity for i in disk if i.sources == ("sn373",)
+        )
+        assert hot / total > 0.4  # calibrated at 0.52 per category
+
+
+class TestJobCorrelation:
+    def test_cpu_incidents_land_inside_hot_jobs(self):
+        scenario = SCENARIOS["thunderbird"]
+        cluster = Cluster(SYSTEMS["thunderbird"], max_nodes=512)
+        rng = np.random.default_rng(6)
+        jobs = WorkloadModel(cluster).generate_list(
+            np.random.default_rng(7), scenario.start_epoch, scenario.end_epoch
+        )
+        planner = IncidentPlanner(scenario, cluster, rng, jobs=jobs)
+        incidents = planner.plan(scale=1e-4)
+        cpu = [i for i in incidents if i.category == "CPU"]
+        assert cpu
+        job_windows = [(j.start, j.end, {n.name for n in j.nodes}) for j in jobs]
+        for inc in cpu:
+            assert any(
+                s <= inc.start < e and set(inc.sources) <= names
+                for s, e, names in job_windows
+            )
+            assert len(inc.sources) >= 2  # spatially spread

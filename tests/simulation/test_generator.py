@@ -1,0 +1,159 @@
+"""Tests for the top-level per-machine log generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import get_ruleset
+from repro.core.tagging import Tagger
+from repro.logmodel.record import Channel
+from repro.simulation.generator import LogGenerator, generate_log
+
+SCALE = 2e-5
+SEED = 404
+
+
+@pytest.fixture(scope="module")
+def liberty_records():
+    return list(generate_log("liberty", scale=SCALE, seed=SEED).records)
+
+
+@pytest.fixture(scope="module")
+def bgl_records():
+    return list(generate_log("bgl", scale=1e-3, seed=SEED).records)
+
+
+@pytest.fixture(scope="module")
+def redstorm_records():
+    return list(generate_log("redstorm", scale=SCALE, seed=SEED).records)
+
+
+class TestStreamInvariants:
+    def test_time_ordered(self, liberty_records):
+        times = [r.timestamp for r in liberty_records]
+        assert times == sorted(times)
+
+    def test_all_records_stamped_with_system(self, liberty_records):
+        assert all(r.system == "liberty" for r in liberty_records)
+
+    def test_timestamps_inside_observation_window(self, liberty_records):
+        gen = LogGenerator("liberty", scale=SCALE, seed=SEED)
+        t0 = gen.scenario.start_epoch
+        t1 = gen.scenario.end_epoch
+        # Bursts may trail past their incident start; allow a day of slack.
+        assert all(t0 <= r.timestamp <= t1 + 86400 for r in liberty_records)
+
+    def test_syslog_timestamps_have_second_granularity(self, liberty_records):
+        assert all(r.timestamp == int(r.timestamp) for r in liberty_records)
+
+    def test_bgl_timestamps_have_microsecond_granularity(self, bgl_records):
+        fractional = [r for r in bgl_records if r.timestamp % 1.0 != 0.0]
+        assert len(fractional) > len(bgl_records) // 2
+
+    def test_determinism(self):
+        a = [
+            (r.timestamp, r.source, r.body)
+            for r in generate_log("liberty", scale=SCALE, seed=1).records
+        ]
+        b = [
+            (r.timestamp, r.source, r.body)
+            for r in generate_log("liberty", scale=SCALE, seed=1).records
+        ]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [r.timestamp for r in generate_log("liberty", scale=SCALE, seed=1).records]
+        b = [r.timestamp for r in generate_log("liberty", scale=SCALE, seed=2).records]
+        assert a != b
+
+
+class TestVolumes:
+    def test_message_volume_tracks_scale(self, liberty_records):
+        gen = LogGenerator("liberty", scale=SCALE, seed=SEED)
+        expected_background = gen.scenario.background_total * SCALE
+        # Alerts add the incident floor on top.
+        assert len(liberty_records) >= expected_background * 0.9
+        assert len(liberty_records) <= expected_background * 1.5 + 2000
+
+    def test_alert_counts_track_calibration(self, liberty_records):
+        tagger = Tagger(get_ruleset("liberty"))
+        alerts = list(tagger.tag_stream(liberty_records))
+        gen = LogGenerator("liberty", scale=SCALE, seed=SEED)
+        target = sum(
+            cat.scaled_raw(SCALE) for cat in gen.scenario.categories
+        )
+        # Corruption can untag a few alerts; UDP alert bursts are intact.
+        assert target * 0.98 <= len(alerts) <= target
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            LogGenerator("liberty", scale=0)
+        with pytest.raises(ValueError):
+            LogGenerator("liberty", incident_scale=-1)
+
+
+class TestBglSpecifics:
+    def test_severity_mix_matches_table5_shape(self, bgl_records):
+        from collections import Counter
+
+        severities = Counter(r.severity for r in bgl_records if not r.corrupted)
+        assert set(severities) <= {
+            "FATAL", "FAILURE", "SEVERE", "ERROR", "WARNING", "INFO",
+        }
+        # INFO dominates messages; FATAL is a large minority (Table 5).
+        assert severities["INFO"] > severities["FATAL"] > severities["ERROR"]
+
+    def test_channel_is_jtag(self, bgl_records):
+        assert all(
+            r.channel is Channel.JTAG_MAILBOX
+            for r in bgl_records
+            if not r.corrupted
+        )
+
+
+class TestRedStormSpecifics:
+    def test_three_channels_present(self, redstorm_records):
+        channels = {r.channel for r in redstorm_records if not r.corrupted}
+        assert Channel.RAS_TCP in channels
+        assert Channel.SYSLOG_UDP in channels
+        assert Channel.DDN in channels
+
+    def test_ras_path_has_no_severity(self, redstorm_records):
+        for record in redstorm_records:
+            if record.channel is Channel.RAS_TCP and not record.corrupted:
+                assert record.severity is None
+
+    def test_ras_bodies_carry_src_svc_fields(self, redstorm_records):
+        ras = [
+            r for r in redstorm_records
+            if r.channel is Channel.RAS_TCP and not r.corrupted
+        ]
+        assert ras
+        assert all(r.body.startswith("src:::") for r in ras)
+
+    def test_syslog_path_has_severity(self, redstorm_records):
+        for record in redstorm_records:
+            if record.channel is Channel.SYSLOG_UDP and not record.corrupted:
+                assert record.severity is not None
+
+
+class TestGroundTruth:
+    def test_generated_log_carries_substrate(self):
+        gen = generate_log("thunderbird", scale=SCALE, seed=SEED)
+        assert gen.jobs, "thunderbird needs a workload for the CPU bug"
+        assert gen.incidents
+        assert gen.timeline.production_fraction() > 0.5
+        assert gen.cluster.spec.name == "thunderbird"
+
+    def test_systems_without_job_categories_skip_workload(self):
+        gen = generate_log("liberty", scale=SCALE, seed=SEED)
+        assert gen.jobs == []
+
+
+class TestCorruption:
+    def test_corruption_rate_zero_is_clean(self):
+        gen = generate_log("liberty", scale=SCALE, seed=SEED, corruption=0.0)
+        assert not any(r.corrupted for r in gen.records)
+
+    def test_corruption_present_at_scenario_rate(self, liberty_records):
+        corrupted = sum(r.corrupted for r in liberty_records)
+        assert corrupted > 0

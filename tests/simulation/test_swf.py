@@ -1,0 +1,119 @@
+"""Unit tests for SWF workload serialization and flurry sanitation."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.cluster import Cluster, Node, NodeRole
+from repro.simulation.swf import (
+    SWF_FIELDS,
+    detect_flurries,
+    job_to_swf_line,
+    read_swf,
+    sanitize_workload,
+    write_swf,
+)
+from repro.simulation.workload import Job, WorkloadModel
+from repro.systems.specs import LIBERTY
+
+
+def _job(job_id=1, start=0.0, duration=3600.0, width=4, user="user001"):
+    nodes = tuple(
+        Node(name=f"n{k}", role=NodeRole.COMPUTE, index=k)
+        for k in range(width)
+    )
+    return Job(job_id=job_id, start=start, duration=duration, nodes=nodes,
+               comm_intensity=0.5, user=user)
+
+
+class TestSwfFormat:
+    def test_line_has_18_fields(self):
+        line = job_to_swf_line(_job(), base_time=0.0)
+        assert len(line.split()) == SWF_FIELDS
+
+    def test_field_values(self):
+        fields = job_to_swf_line(
+            _job(job_id=7, start=100.0, duration=500.0, width=8),
+            base_time=50.0,
+        ).split()
+        assert fields[0] == "7"
+        assert fields[1] == "50"    # submit relative to base
+        assert fields[3] == "500"   # run time
+        assert fields[4] == "8"     # processors
+        assert fields[11] == "2"    # user001 -> id 2
+
+    def test_write_read_round_trip(self, tmp_path):
+        cluster = Cluster(LIBERTY, max_nodes=64)
+        model = WorkloadModel(cluster, mean_interarrival=600.0)
+        jobs = model.generate_list(np.random.default_rng(1), 0.0, 5 * 86400.0)
+        path = tmp_path / "trace.swf"
+        written = write_swf(jobs, path, machine_name="liberty")
+        recovered = read_swf(path, cluster=cluster)
+        assert written == len(jobs) == len(recovered)
+        for a, b in zip(sorted(jobs, key=lambda j: j.start), recovered):
+            assert a.job_id == b.job_id
+            assert b.start == pytest.approx(a.start, abs=1.0)
+            assert b.duration == pytest.approx(a.duration, abs=1.0)
+            assert a.width == b.width
+            assert a.user == b.user
+
+    def test_header_comments_written(self, tmp_path):
+        path = tmp_path / "t.swf"
+        write_swf([_job()], path, machine_name="spirit")
+        text = path.read_text()
+        assert text.startswith("; Computer: spirit")
+        assert "; UnixStartTime:" in text
+
+    def test_read_without_cluster_fabricates_nodes(self, tmp_path):
+        path = tmp_path / "t.swf"
+        write_swf([_job(width=3)], path)
+        (job,) = read_swf(path)
+        assert job.width == 3
+
+
+class TestFlurries:
+    def _trace(self):
+        jobs = []
+        # Normal traffic: 30 jobs spread over 30 hours, many users.
+        for i in range(30):
+            jobs.append(_job(job_id=i, start=i * 3600.0,
+                             user=f"user{i % 7:03d}"))
+        # A flurry: user099 submits 25 jobs in 10 minutes.
+        for k in range(25):
+            jobs.append(_job(job_id=100 + k, start=50_000.0 + k * 20.0,
+                             user="user099"))
+        return jobs
+
+    def test_flurry_detected(self):
+        flurries = detect_flurries(self._trace(), window=3600.0, min_jobs=20)
+        assert len(flurries) == 1
+        assert flurries[0].user == "user099"
+        assert flurries[0].job_count == 25
+
+    def test_normal_traffic_not_flagged(self):
+        jobs = [j for j in self._trace() if j.user != "user099"]
+        assert detect_flurries(jobs, window=3600.0, min_jobs=20) == []
+
+    def test_sanitize_removes_only_flurry_jobs(self):
+        clean, flurries = sanitize_workload(
+            self._trace(), window=3600.0, min_jobs=20
+        )
+        assert len(flurries) == 1
+        assert len(clean) == 30
+        assert all(j.user != "user099" or j.start < 50_000.0 for j in clean)
+
+    def test_min_jobs_validation(self):
+        with pytest.raises(ValueError):
+            detect_flurries([], min_jobs=1)
+
+
+class TestUserModel:
+    def test_generated_jobs_have_skewed_users(self):
+        cluster = Cluster(LIBERTY, max_nodes=64)
+        model = WorkloadModel(cluster, mean_interarrival=300.0)
+        jobs = model.generate_list(np.random.default_rng(3), 0.0, 20 * 86400.0)
+        from collections import Counter
+
+        users = Counter(j.user for j in jobs)
+        assert len(users) > 3
+        top_share = users.most_common(1)[0][1] / len(jobs)
+        assert top_share > 0.2  # heavy-hitter users exist

@@ -1,0 +1,91 @@
+"""Unit tests for the transport models."""
+
+import numpy as np
+import pytest
+
+from repro.logmodel.record import LogRecord
+from repro.simulation.transport import (
+    JtagMailbox,
+    TcpRasChannel,
+    UdpSyslogChannel,
+)
+
+
+def _records(times):
+    return [
+        LogRecord(timestamp=t, source="n1", facility="kernel", body="x")
+        for t in times
+    ]
+
+
+class TestUdp:
+    def test_idle_traffic_mostly_survives(self):
+        rng = np.random.default_rng(0)
+        channel = UdpSyslogChannel(rng, base_loss=0.001)
+        times = np.arange(0, 1000, 10.0)  # 0.1 msg/s: idle
+        delivered = list(channel.transmit(_records(times)))
+        assert len(delivered) >= len(times) * 0.98
+
+    def test_contention_loses_more(self):
+        """'some messages being lost during network contention'
+        (Section 3.1): loss under burst load must exceed idle loss."""
+        rng = np.random.default_rng(0)
+        idle = UdpSyslogChannel(rng, congestion_rate=100.0)
+        list(idle.transmit(_records(np.arange(0, 5000, 5.0))))
+
+        rng = np.random.default_rng(0)
+        busy = UdpSyslogChannel(rng, congestion_rate=100.0)
+        list(busy.transmit(_records(np.arange(0, 5, 0.005))))  # 200 msg/s
+        assert busy.loss_fraction > idle.loss_fraction * 3
+
+    def test_loss_counters(self):
+        rng = np.random.default_rng(1)
+        channel = UdpSyslogChannel(rng, base_loss=1.0, congestion_loss=0.0)
+        delivered = list(channel.transmit(_records([1.0, 2.0])))
+        assert delivered == []
+        assert channel.sent == 2
+        assert channel.dropped == 2
+        assert channel.loss_fraction == 1.0
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            UdpSyslogChannel(rng, base_loss=1.5)
+        with pytest.raises(ValueError):
+            UdpSyslogChannel(rng, congestion_rate=0)
+
+
+class TestTcp:
+    def test_lossless(self):
+        channel = TcpRasChannel()
+        records = _records(np.arange(0, 100, 0.001))  # heavy load
+        delivered = list(channel.transmit(records))
+        assert len(delivered) == len(records)
+        assert channel.delivered == len(records)
+
+    def test_preserves_event_timestamps(self):
+        channel = TcpRasChannel(latency=0.5)
+        (record,) = channel.transmit(_records([42.0]))
+        assert record.timestamp == 42.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TcpRasChannel(latency=-0.1)
+
+
+class TestJtag:
+    def test_next_poll_after(self):
+        mailbox = JtagMailbox(poll_period=0.001)
+        assert mailbox.next_poll_after(0.0015) == pytest.approx(0.002)
+        assert mailbox.next_poll_after(0.002) == pytest.approx(0.002)
+
+    def test_delivery_delay_bounded_by_poll_period(self):
+        mailbox = JtagMailbox(poll_period=0.001)
+        rng = np.random.default_rng(2)
+        records = _records(rng.uniform(0, 1, size=500))
+        list(mailbox.transmit(records))
+        assert 0 < mailbox.max_delivery_delay <= 0.001
+
+    def test_invalid_poll_period(self):
+        with pytest.raises(ValueError):
+            JtagMailbox(poll_period=0)
