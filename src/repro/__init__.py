@@ -36,6 +36,7 @@ from . import (
     pipeline,
     prediction,
     reporting,
+    resilience,
     simulation,
     systems,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "pipeline",
     "prediction",
     "reporting",
+    "resilience",
     "simulation",
     "systems",
     "__version__",

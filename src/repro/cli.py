@@ -22,6 +22,8 @@ from .logio.reader import read_log
 from .logio.writer import write_log
 from .logmodel.anonymize import Pseudonymizer
 from .reporting import tables
+from .resilience.deadletter import DeadLetterQueue
+from .resilience.faults import FaultConfig
 from .reporting.format import render_table
 from .simulation.generator import generate_log
 from .systems.specs import SYSTEMS
@@ -47,8 +49,12 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     records = read_log(args.path, args.system, year=args.year)
+    dead_letters = DeadLetterQueue() if args.quarantine else None
     result = pipeline.run_stream(records, args.system,
-                                 threshold=args.threshold)
+                                 threshold=args.threshold,
+                                 dead_letters=dead_letters)
+    if dead_letters is not None and dead_letters.quarantined:
+        print(f"# quarantined: {dead_letters.summary()}", file=sys.stderr)
     if args.full:
         from .reporting.report import system_report
 
@@ -71,15 +77,26 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
+    faults = None
+    if args.faults:
+        fault_seed = args.seed if args.fault_seed is None else args.fault_seed
+        faults = FaultConfig.defaults(seed=fault_seed)
     results = {}
     for system in SYSTEM_CHOICES:
         scale = args.scale * (100 if system == "bgl" else 1)
-        results[system] = pipeline.run_system(
-            system, scale=scale, seed=args.seed
+        result = pipeline.run_system(
+            system, scale=scale, seed=args.seed, faults=faults,
+            restart_budget=args.restart_budget,
+            checkpoint_every=args.checkpoint_every,
         )
-        print(f"# {system}: {results[system].message_count:,} messages, "
-              f"{results[system].raw_alert_count:,} alerts",
-              file=sys.stderr)
+        results[system] = result
+        line = (f"# {system}: {result.message_count:,} messages, "
+                f"{result.raw_alert_count:,} alerts")
+        if faults is not None:
+            line += (f" [restarts: {result.restarts}, "
+                     f"dead letters: {result.dead_letter_count}"
+                     f"{', DEGRADED' if result.degraded else ''}]")
+        print(line, file=sys.stderr)
     print(tables.all_tables(results))
     return 0
 
@@ -148,6 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--full", action="store_true",
                            help="full report: attribution, severity, "
                                 "interarrival characterization")
+    p_analyze.add_argument("--quarantine", action="store_true",
+                           help="dead-letter unprocessable records instead "
+                                "of failing on them, and report the counts")
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_study = sub.add_parser(
@@ -155,6 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_study.add_argument("--scale", type=float, default=1e-4)
     p_study.add_argument("--seed", type=int, default=2007)
+    p_study.add_argument("--faults", action="store_true",
+                         help="run under the pipeline supervisor with the "
+                              "default fault-injection schedule (crashes, "
+                              "stalls, reordering, duplication, truncation)")
+    p_study.add_argument("--fault-seed", type=int, default=None,
+                         help="seed for the fault schedule (default: --seed)")
+    p_study.add_argument("--restart-budget", type=int, default=3,
+                         help="max supervisor restarts per system")
+    p_study.add_argument("--checkpoint-every", type=int, default=2000,
+                         help="checkpoint interval in records")
     p_study.set_defaults(func=cmd_study)
 
     p_anon = sub.add_parser(

@@ -30,6 +30,7 @@ from .filtering import (
     DEFAULT_THRESHOLD,
     FilterReport,
     FilterStats,
+    OutOfOrderError,
     SpatioTemporalFilter,
     filter_with_report,
     log_filter,
@@ -71,6 +72,7 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "FilterReport",
     "FilterStats",
+    "OutOfOrderError",
     "SpatioTemporalFilter",
     "filter_with_report",
     "log_filter",

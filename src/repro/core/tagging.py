@@ -70,10 +70,26 @@ class Tagger:
             return None
         return Alert.from_record(record, category)
 
-    def tag_stream(self, records: Iterable[LogRecord]) -> Iterator[Alert]:
-        """Lazily tag a record stream, yielding only the alerts."""
+    def tag_stream(
+        self, records: Iterable[LogRecord], dead_letters=None
+    ) -> Iterator[Alert]:
+        """Lazily tag a record stream, yielding only the alerts.
+
+        ``dead_letters`` (a :class:`~repro.resilience.deadletter.
+        DeadLetterQueue`) makes the pass total: a record that crashes the
+        rules engine — a body that is not a string, a pathological field
+        mix from corruption — is quarantined under ``"tagger-error"``
+        instead of killing the stream.  Without a queue the exception
+        propagates, as before.
+        """
         for record in records:
-            alert = self.tag(record)
+            try:
+                alert = self.tag(record)
+            except Exception as exc:
+                if dead_letters is None:
+                    raise
+                dead_letters.put(record, "tagger-error", repr(exc))
+                continue
             if alert is not None:
                 yield alert
 

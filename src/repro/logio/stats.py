@@ -8,7 +8,7 @@ gzip-compressed size, observation span, and bytes/second.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Optional
 
 from ..logmodel.record import LogRecord
@@ -54,6 +54,21 @@ class LogStats:
         return self.compressed_bytes / self.raw_bytes if self.raw_bytes else 1.0
 
 
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Resumable mid-stream state of a :class:`StatsCollector`.
+
+    The zlib compressor object is captured via ``compressobj.copy()`` so a
+    resumed collector produces byte-identical compressed sizes to an
+    uninterrupted run.  The stored compressor is never mutated: every
+    restore copies it again, so one snapshot supports many resumes.
+    """
+
+    stats: LogStats
+    compressor: "zlib._Compress"
+    flushed: bool
+
+
 class StatsCollector:
     """Streaming Table 2 accumulator.
 
@@ -93,6 +108,23 @@ class StatsCollector:
             self.stats.compressed_bytes += len(self._compressor.flush())
             self._flushed = True
         return self.stats
+
+    def snapshot(self) -> StatsSnapshot:
+        """Capture resumable mid-stream state (see :class:`StatsSnapshot`)."""
+        return StatsSnapshot(
+            stats=replace(self.stats),
+            compressor=self._compressor.copy(),
+            flushed=self._flushed,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: StatsSnapshot) -> "StatsCollector":
+        """A live collector continuing exactly from ``snapshot``."""
+        collector = cls(snapshot.stats.system)
+        collector.stats = replace(snapshot.stats)
+        collector._compressor = snapshot.compressor.copy()
+        collector._flushed = snapshot.flushed
+        return collector
 
 
 def measure_stream(records: Iterable[LogRecord], system: str) -> LogStats:

@@ -10,6 +10,17 @@ contribution together the way Sections 3 and 4 do:
 5. keep everything an analysis needs (raw alerts, filtered alerts, cross
    tabs, ground truth) on one result object.
 
+The pipeline is built to survive the collection-path pathologies the
+paper documents (Sections 3.1-3.2): attach a
+:class:`~repro.resilience.deadletter.DeadLetterQueue` and records the
+stages cannot process are quarantined instead of crashing the run; attach
+a :class:`~repro.resilience.checkpoint.CheckpointManager` and the run can
+be resumed after a crash via ``resume_from`` without reprocessing — or
+pass ``faults=``/``supervised=True`` to :func:`run_system`/:func:`run_all`
+and the :class:`~repro.resilience.supervisor.PipelineSupervisor` does all
+of that wiring, restarts crashed runs, and degrades gracefully when its
+restart budget runs out.
+
 Example::
 
     from repro import pipeline
@@ -19,13 +30,16 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, Iterable, List, Optional
 
 from .core.categories import Alert
 from .core.filtering import (
     DEFAULT_THRESHOLD,
     FilterReport,
+    OutOfOrderError,
     SpatioTemporalFilter,
 )
 from .core.rules import get_ruleset
@@ -33,7 +47,24 @@ from .core.tagging import Tagger
 from .analysis.severity_eval import SeverityCrossTab
 from .logio.stats import LogStats, StatsCollector
 from .logmodel.record import LogRecord
+from .resilience.checkpoint import (
+    CheckpointManager,
+    PipelineCheckpoint,
+    copy_report,
+    copy_severity,
+)
+from .resilience.deadletter import (
+    DeadLetterQueue,
+    REASON_INVALID_RECORD,
+    REASON_OUT_OF_ORDER,
+    REASON_TAGGER_ERROR,
+)
 from .simulation.generator import GeneratedLog, LogGenerator
+
+#: How far back an alert timestamp may run (collector fan-in jitter,
+#: syslog's one-second granularity) before it is quarantined rather than
+#: filtered.  Matches the strict-monotonicity contract of Algorithm 3.1.
+DEFAULT_REORDER_TOLERANCE = 1.0
 
 
 @dataclass
@@ -49,6 +80,10 @@ class PipelineResult:
     corrupted_messages: int
     generated: Optional[GeneratedLog] = None
     threshold: float = DEFAULT_THRESHOLD
+    dead_letters: Optional[DeadLetterQueue] = None
+    degraded: bool = False
+    restarts: int = 0
+    failure_log: List[str] = field(default_factory=list)
 
     @property
     def message_count(self) -> int:
@@ -65,6 +100,10 @@ class PipelineResult:
     @property
     def observed_categories(self) -> int:
         return len({alert.category for alert in self.raw_alerts})
+
+    @property
+    def dead_letter_count(self) -> int:
+        return self.dead_letters.quarantined if self.dead_letters else 0
 
     def category_counts(self) -> Dict[str, List[int]]:
         """Per-category [raw, filtered] counts (the Table 4 columns)."""
@@ -85,7 +124,26 @@ class PipelineResult:
             f"categories:        {self.observed_categories}",
             f"corrupted:         {self.corrupted_messages:,}",
         ]
+        if self.dead_letters is not None and self.dead_letters.quarantined:
+            lines.append(f"dead letters:      {self.dead_letters.summary()}")
+        if self.restarts:
+            lines.append(f"restarts:          {self.restarts}")
+        if self.degraded:
+            lines.append(
+                "degraded:          yes (restart budget exhausted; "
+                "counts cover the stream up to the last checkpoint)"
+            )
         return "\n".join(lines)
+
+
+def _valid_record(record: LogRecord) -> bool:
+    """Structural admission check: can downstream stages process this?"""
+    try:
+        if not math.isfinite(record.timestamp):
+            return False
+    except TypeError:
+        return False
+    return isinstance(record.body, str) and isinstance(record.source, str)
 
 
 def run_stream(
@@ -93,34 +151,114 @@ def run_stream(
     system: str,
     threshold: float = DEFAULT_THRESHOLD,
     generated: Optional[GeneratedLog] = None,
+    dead_letters: Optional[DeadLetterQueue] = None,
+    checkpointer: Optional[CheckpointManager] = None,
+    resume_from: Optional[PipelineCheckpoint] = None,
+    reorder_tolerance: float = DEFAULT_REORDER_TOLERANCE,
 ) -> PipelineResult:
     """Run the measurement/tag/filter pipeline over any record stream.
 
     Single pass: volume statistics, severity cross-tab, tagging, and
     filtering all happen as the stream flows through, so an arbitrarily
     large log needs constant memory beyond the alert lists.
+
+    With ``dead_letters`` attached the pipeline quarantines what it cannot
+    process — malformed records, records that crash the tagger, alerts
+    whose timestamps run backwards beyond ``reorder_tolerance`` — instead
+    of raising.  Without a queue the historical strict behavior holds.
+
+    With a ``checkpointer``, resumable snapshots are taken every
+    ``checkpointer.every`` input records; pass the last snapshot back as
+    ``resume_from`` (with the *same* deterministic stream) after a crash
+    and the run continues without reprocessing, landing byte-identical to
+    an uninterrupted run.
     """
     tagger = Tagger(get_ruleset(system))
-    stats_collector = StatsCollector(system)
-    stf = SpatioTemporalFilter(threshold)
-    report = FilterReport(threshold=threshold)
-    severity_tab = SeverityCrossTab()
-    raw_alerts: List[Alert] = []
-    filtered_alerts: List[Alert] = []
-    corrupted = 0
+    source = iter(records)
 
-    for record in stats_collector.observe(records):
+    if resume_from is not None:
+        if resume_from.system != system:
+            raise ValueError(
+                f"checkpoint is for {resume_from.system!r}, not {system!r}"
+            )
+        if resume_from.threshold != threshold:
+            raise ValueError("checkpoint was taken with a different threshold")
+        stats_collector = resume_from.restore_stats()
+        stf = resume_from.restore_filter()
+        report = resume_from.restore_report()
+        severity_tab = resume_from.restore_severity()
+        raw_alerts: List[Alert] = list(resume_from.raw_alerts)
+        filtered_alerts: List[Alert] = list(resume_from.filtered_alerts)
+        corrupted = resume_from.corrupted_messages
+        consumed = resume_from.records_consumed
+        if dead_letters is not None:
+            dead_letters.restore(resume_from.dead_letters)
+        source = islice(source, consumed, None)
+    else:
+        stats_collector = StatsCollector(system)
+        stf = SpatioTemporalFilter(threshold, reorder_tolerance=reorder_tolerance)
+        report = FilterReport(threshold=threshold)
+        severity_tab = SeverityCrossTab()
+        raw_alerts = []
+        filtered_alerts = []
+        corrupted = 0
+        consumed = 0
+
+    if checkpointer is not None:
+        checkpointer.prime(resume_from)
+
+    def admitted(stream: Iterable[LogRecord]):
+        """Count every input record; quarantine the structurally invalid
+        before they can crash the renderer or the filter."""
+        nonlocal consumed
+        for record in stream:
+            consumed += 1
+            if dead_letters is not None and not _valid_record(record):
+                dead_letters.put(record, REASON_INVALID_RECORD)
+                continue
+            yield record
+
+    def snapshot() -> PipelineCheckpoint:
+        return PipelineCheckpoint(
+            system=system,
+            threshold=threshold,
+            records_consumed=consumed,
+            stats=stats_collector.snapshot(),
+            filter_state=stf.state_dict(),
+            report=copy_report(report),
+            severity=copy_severity(severity_tab),
+            raw_alerts=tuple(raw_alerts),
+            filtered_alerts=tuple(filtered_alerts),
+            corrupted_messages=corrupted,
+            dead_letters=dead_letters.snapshot() if dead_letters else None,
+        )
+
+    for record in stats_collector.observe(admitted(source)):
         if record.corrupted:
             corrupted += 1
-        alert = tagger.tag(record)
-        severity_tab.add(record, alert is not None)
-        if alert is None:
+        try:
+            alert = tagger.tag(record)
+        except Exception as exc:
+            if dead_letters is None:
+                raise
+            dead_letters.put(record, REASON_TAGGER_ERROR, repr(exc))
             continue
-        raw_alerts.append(alert)
-        kept = stf.offer(alert)
-        report.record(alert, kept)
-        if kept:
-            filtered_alerts.append(alert)
+        severity_tab.add(record, alert is not None)
+        if alert is not None:
+            try:
+                kept: Optional[bool] = stf.offer(alert)
+            except OutOfOrderError as exc:
+                if dead_letters is None:
+                    raise
+                dead_letters.put(record, REASON_OUT_OF_ORDER, str(exc))
+                kept = None
+            if kept is not None:
+                raw_alerts.append(alert)
+                report.record(alert, kept)
+                if kept:
+                    filtered_alerts.append(alert)
+        if checkpointer is not None:
+            checkpointer.maybe(consumed, snapshot)
 
     return PipelineResult(
         system=system,
@@ -132,6 +270,7 @@ def run_stream(
         corrupted_messages=corrupted,
         generated=generated,
         threshold=threshold,
+        dead_letters=dead_letters,
     )
 
 
@@ -141,9 +280,30 @@ def run_system(
     seed: int = 2007,
     threshold: float = DEFAULT_THRESHOLD,
     incident_scale: float = 1.0,
+    faults=None,
+    supervised: bool = False,
+    restart_budget: int = 3,
+    checkpoint_every: int = 2000,
     **generator_kwargs,
 ) -> PipelineResult:
-    """Generate one machine's log and run the full pipeline over it."""
+    """Generate one machine's log and run the full pipeline over it.
+
+    Pass ``faults`` (a :class:`~repro.resilience.faults.FaultConfig`) or
+    ``supervised=True`` to run under the pipeline supervisor: injected or
+    real worker failures are caught, the run restarts from the latest
+    checkpoint (at most ``restart_budget`` times), and the result reports
+    ``degraded``/dead-letter state instead of raising.
+    """
+    if faults is not None or supervised:
+        from .resilience.supervisor import PipelineSupervisor
+
+        supervisor = PipelineSupervisor(
+            restart_budget=restart_budget, checkpoint_every=checkpoint_every
+        )
+        return supervisor.run_system(
+            system, scale=scale, seed=seed, threshold=threshold,
+            incident_scale=incident_scale, faults=faults, **generator_kwargs,
+        )
     generator = LogGenerator(
         system, scale=scale, seed=seed, incident_scale=incident_scale,
         **generator_kwargs,
@@ -158,14 +318,25 @@ def run_all(
     scale: float = 1e-4,
     seed: int = 2007,
     threshold: float = DEFAULT_THRESHOLD,
+    faults=None,
+    supervised: bool = False,
+    restart_budget: int = 3,
+    checkpoint_every: int = 2000,
     **generator_kwargs,
 ) -> Dict[str, PipelineResult]:
-    """Run the pipeline for all five machines (Table 2's full study)."""
+    """Run the pipeline for all five machines (Table 2's full study).
+
+    With ``faults``/``supervised`` the whole study runs under supervision:
+    every system completes — possibly degraded, never raising — and each
+    result carries its dead-letter and restart accounting.
+    """
     from .systems.specs import SYSTEMS
 
     return {
         name: run_system(
             name, scale=scale, seed=seed, threshold=threshold,
+            faults=faults, supervised=supervised,
+            restart_budget=restart_budget, checkpoint_every=checkpoint_every,
             **generator_kwargs,
         )
         for name in SYSTEMS

@@ -27,7 +27,7 @@ Scenario knobs encode the case studies the paper narrates:
 from __future__ import annotations
 
 import calendar
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..logmodel.record import Channel

@@ -63,6 +63,11 @@ class UdpSyslogChannel:
         self._window: Deque[float] = deque()
 
     def _loss_probability(self, timestamp: float) -> float:
+        """Drop probability at ``timestamp``, with the in-flight record
+        already counted in the trailing window: the record contending for
+        the wire contributes to the contention it experiences (otherwise
+        the first record of every burst would see the stale pre-burst
+        rate)."""
         while self._window and timestamp - self._window[0] > 1.0:
             self._window.popleft()
         rate = len(self._window)
@@ -73,8 +78,8 @@ class UdpSyslogChannel:
         """Yield the records that survive the channel."""
         for record in records:
             self.sent += 1
-            p = self._loss_probability(record.timestamp)
             self._window.append(record.timestamp)
+            p = self._loss_probability(record.timestamp)
             if self.rng.random() < p:
                 self.dropped += 1
                 continue

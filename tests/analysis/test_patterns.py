@@ -1,6 +1,5 @@
 """Unit tests for frequent-template mining."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.patterns import (

@@ -1,6 +1,5 @@
 """Unit tests for RAS metrics (naive MTTF vs context-aware lost work)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.ras import (

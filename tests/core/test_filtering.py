@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.filtering import (
-    DEFAULT_THRESHOLD,
+    OutOfOrderError,
     SpatioTemporalFilter,
     filter_with_report,
     log_filter_list,
@@ -94,6 +94,69 @@ class TestTableClear:
         assert len(stf._last_seen) == 2
         stf.offer(make_alert(100.0, category="C"))
         assert set(stf._last_seen) == {"C"}
+
+
+class TestOutOfOrderInput:
+    """Regression: out-of-order input used to corrupt filter state
+    silently — a backwards timestamp overwrote ``last_seen`` and made the
+    filter keep later repeats it should have suppressed.  ``offer`` now
+    enforces monotonicity: strict by default, clamping within an explicit
+    reorder tolerance."""
+
+    def test_backwards_timestamp_raises_by_default(self):
+        stf = SpatioTemporalFilter()
+        stf.offer(make_alert(10.0))
+        with pytest.raises(OutOfOrderError) as excinfo:
+            stf.offer(make_alert(4.0))
+        assert excinfo.value.timestamp == 4.0
+        assert excinfo.value.last_time == 10.0
+
+    def test_equal_timestamp_is_not_disorder(self):
+        stf = SpatioTemporalFilter()
+        stf.offer(make_alert(10.0))
+        stf.offer(make_alert(10.0, category="OTHER"))  # no raise
+
+    def test_rejected_alert_does_not_corrupt_state(self):
+        stf = SpatioTemporalFilter(threshold=5.0)
+        stf.offer(make_alert(10.0))
+        with pytest.raises(OutOfOrderError):
+            stf.offer(make_alert(1.0))
+        # 12.0 is within threshold of the kept 10.0: still suppressed.
+        assert not stf.offer(make_alert(12.0))
+
+    def test_within_tolerance_clamped_not_raised(self):
+        stf = SpatioTemporalFilter(threshold=5.0, reorder_tolerance=2.0)
+        assert stf.offer(make_alert(10.0))
+        # 1.5s backwards: tolerated, treated as arriving at 10.0 — and
+        # therefore suppressed as a repeat, not kept via a stale gap.
+        assert not stf.offer(make_alert(8.5))
+        # Clamping must not push time forward: 10.5 is 0.5s after the
+        # clamped 10.0 and still inside the threshold window.
+        assert not stf.offer(make_alert(10.5))
+        # Suppressed repeats refresh the clock (chain suppression), so the
+        # next keeper must clear 10.5 + threshold.
+        assert stf.offer(make_alert(16.0))
+
+    def test_beyond_tolerance_raises(self):
+        stf = SpatioTemporalFilter(reorder_tolerance=2.0)
+        stf.offer(make_alert(10.0))
+        with pytest.raises(OutOfOrderError):
+            stf.offer(make_alert(7.0))
+
+    def test_regression_silent_suppression_window_shrink(self):
+        """The historical bug: a backwards record used to rewind the
+        category clock, so a repeat inside the threshold was kept.  The
+        tolerant filter clamps instead and keeps suppressing."""
+        stf = SpatioTemporalFilter(threshold=5.0, reorder_tolerance=10.0)
+        assert stf.offer(make_alert(20.0))
+        assert not stf.offer(make_alert(12.0))  # clamped to 20.0
+        # With the old behavior last_seen would now be 12.0 and 21.0
+        # (gap 9 > 5) would sneak through; clamped state suppresses it.
+        assert not stf.offer(make_alert(21.0))
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            SpatioTemporalFilter(reorder_tolerance=-1.0)
 
 
 class TestStats:

@@ -96,6 +96,28 @@ class TestStudy:
         assert "Table 1." in out
         assert "Table 6." in out
 
+    def test_faulted_study_completes_and_reports(self, capsys):
+        code = main([
+            "study", "--scale", "1e-5", "--seed", "3", "--faults",
+            "--fault-seed", "11", "--checkpoint-every", "1000",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Table 6." in captured.out
+        assert "restarts:" in captured.err
+        assert "dead letters:" in captured.err
+
+
+class TestAnalyzeQuarantine:
+    def test_quarantine_flag_accepted_on_clean_log(self, generated_log,
+                                                   capsys):
+        code = main([
+            "analyze", str(generated_log), "--system", "liberty",
+            "--year", "2004", "--quarantine",
+        ])
+        assert code == 0
+        assert "alerts (filtered)" in capsys.readouterr().out
+
 
 def test_unknown_system_rejected():
     with pytest.raises(SystemExit):

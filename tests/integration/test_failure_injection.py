@@ -7,12 +7,10 @@ no exceptions, flagged records, sane counts.
 """
 
 import numpy as np
-import pytest
 
 from repro import pipeline
 from repro.core.filtering import log_filter_list, sorted_by_time
 from repro.logmodel.record import LogRecord
-from repro.simulation.corruptor import Corruptor
 from repro.simulation.generator import generate_log
 from repro.simulation.transport import UdpSyslogChannel
 

@@ -5,7 +5,6 @@ checklist of DESIGN.md section 4.  Run at moderate scale so volume-driven
 claims have enough mass.
 """
 
-import numpy as np
 import pytest
 
 from repro import pipeline
@@ -13,10 +12,9 @@ from repro.analysis.correlation import spatial_correlation, tag_correlation
 from repro.analysis.distributions import exponentiality_score
 from repro.analysis.interarrival import interarrival_times, log_histogram
 from repro.analysis.severity_eval import score_severity_detector
-from repro.analysis.timeseries import messages_by_source
 from repro.core.rules import get_ruleset
-from repro.core.serial_filter import compare_filters, serial_filter_list
-from repro.core.filtering import log_filter_list, sorted_by_time
+from repro.core.serial_filter import compare_filters
+from repro.core.filtering import sorted_by_time
 from repro.core.tagging import Tagger
 from repro.simulation.generator import generate_log
 

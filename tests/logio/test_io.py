@@ -14,7 +14,7 @@ from repro.logio.writer import (
     write_log,
 )
 from repro.logmodel.bgl import render_bgl_line
-from repro.logmodel.record import Channel, LogRecord
+from repro.logmodel.record import LogRecord
 from repro.logmodel.redstorm import render_redstorm_line
 from repro.logmodel.syslog import render_syslog_line
 from repro.simulation.generator import generate_log

@@ -2,7 +2,6 @@
 
 import re
 
-import pytest
 
 from repro.logmodel.anonymize import Pseudonymizer
 from repro.logmodel.record import LogRecord

@@ -1,9 +1,8 @@
 """Tests for the Figure 1-6 renderers over live data."""
 
 import numpy as np
-import pytest
 
-from repro.analysis.interarrival import interarrival_times, log_histogram
+from repro.analysis.interarrival import log_histogram
 from repro.analysis.timeseries import bucket_counts, messages_by_source
 from repro.logmodel.record import LogRecord
 from repro.reporting.figures import (

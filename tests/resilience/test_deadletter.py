@@ -1,0 +1,81 @@
+"""Unit tests for the dead-letter quarantine."""
+
+import pytest
+
+from repro.logmodel.record import LogRecord
+from repro.resilience.deadletter import DeadLetterQueue
+
+
+def _record(t=1.0, body="x"):
+    return LogRecord(timestamp=t, source="n1", facility="kernel", body=body)
+
+
+class TestQueue:
+    def test_put_and_counters(self):
+        dlq = DeadLetterQueue()
+        dlq.put(_record(), "bad-parse")
+        dlq.put(_record(), "bad-parse", detail="line 7")
+        dlq.put(_record(), "out-of-order")
+        assert dlq.quarantined == 3
+        assert len(dlq) == 3
+        assert dlq.by_reason == {"bad-parse": 2, "out-of-order": 1}
+        assert len(dlq.letters_for("bad-parse")) == 2
+
+    def test_capacity_bounds_retention_not_counts(self):
+        dlq = DeadLetterQueue(capacity=5)
+        for k in range(12):
+            dlq.put(_record(t=float(k)), "overflow-test")
+        assert len(dlq) == 5
+        assert dlq.quarantined == 12
+        assert dlq.evicted == 7
+        retained = [letter.record.timestamp for letter in dlq]
+        assert retained == [7.0, 8.0, 9.0, 10.0, 11.0]  # newest kept
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DeadLetterQueue(capacity=0)
+
+    def test_summary_text(self):
+        dlq = DeadLetterQueue()
+        assert dlq.summary() == "0 quarantined"
+        dlq.put(_record(), "b-reason")
+        dlq.put(_record(), "a-reason")
+        assert dlq.summary() == "2 quarantined (a-reason: 1, b-reason: 1)"
+
+
+class TestSnapshot:
+    def test_snapshot_is_isolated_from_later_puts(self):
+        dlq = DeadLetterQueue()
+        dlq.put(_record(1.0), "early")
+        snap = dlq.snapshot()
+        dlq.put(_record(2.0), "late")
+        assert snap.quarantined == 1
+        assert dict(snap.by_reason) == {"early": 1}
+
+    def test_restore_rewinds_to_snapshot(self):
+        dlq = DeadLetterQueue()
+        dlq.put(_record(1.0), "early")
+        snap = dlq.snapshot()
+        dlq.put(_record(2.0), "late")
+        dlq.restore(snap)
+        assert dlq.quarantined == 1
+        assert dlq.by_reason == {"early": 1}
+        assert [letter.reason for letter in dlq] == ["early"]
+
+    def test_restore_none_resets_empty(self):
+        dlq = DeadLetterQueue()
+        dlq.put(_record(), "x")
+        dlq.restore(None)
+        assert dlq.quarantined == 0
+        assert len(dlq) == 0
+        assert dlq.by_reason == {}
+
+    def test_one_snapshot_supports_many_restores(self):
+        dlq = DeadLetterQueue()
+        dlq.put(_record(), "keep")
+        snap = dlq.snapshot()
+        for _ in range(3):
+            dlq.put(_record(), "noise")
+            dlq.restore(snap)
+        assert dlq.quarantined == 1
+        assert dlq.by_reason == {"keep": 1}

@@ -12,7 +12,6 @@ from repro.core.rules import get_ruleset
 from repro.simulation.calibration import (
     PROFILES,
     SCENARIOS,
-    BackgroundSpec,
     CategoryCalibration,
     SystemScenario,
     get_scenario,

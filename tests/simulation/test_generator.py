@@ -1,6 +1,5 @@
 """Tests for the top-level per-machine log generators."""
 
-import numpy as np
 import pytest
 
 from repro.core.rules import get_ruleset

@@ -54,6 +54,35 @@ class TestUdp:
         with pytest.raises(ValueError):
             UdpSyslogChannel(rng, congestion_rate=0)
 
+    def test_record_contributes_to_own_contention(self):
+        """Regression: the in-flight record is counted in the rate window
+        *before* the drop probability is computed.  The old off-by-one
+        let the first record of every burst see the stale pre-burst rate;
+        with congestion_rate=1 a single record alone must already
+        saturate the channel."""
+        rng = np.random.default_rng(0)
+        channel = UdpSyslogChannel(
+            rng, base_loss=0.0, congestion_loss=1.0, congestion_rate=1.0
+        )
+        delivered = list(channel.transmit(_records([0.0])))
+        assert delivered == []
+        assert channel.dropped == 1
+
+    def test_burst_members_see_rising_rate(self):
+        """Within a same-second burst, later records face at least the
+        drop probability the first one did — utilization is monotone in
+        the window count that now includes each sender."""
+        rng = np.random.default_rng(0)
+        channel = UdpSyslogChannel(
+            rng, base_loss=0.0, congestion_loss=0.5, congestion_rate=10.0
+        )
+        probs = []
+        for record in _records(np.linspace(0, 0.5, 8)):
+            channel._window.append(record.timestamp)
+            probs.append(channel._loss_probability(record.timestamp))
+        assert probs == sorted(probs)
+        assert probs[0] == pytest.approx(0.05)  # 1/10 utilization, not 0
+
 
 class TestTcp:
     def test_lossless(self):
