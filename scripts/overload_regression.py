@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI overload regression: bounded memory under a 10x burst, enforced.
+
+Runs a scaled five-system study twice — unbounded (the accounting
+baseline) and bounded under a 10x burst from an unpausable source — with
+the process's address space hard-capped via ``resource.setrlimit``.  The
+cap is generous (numpy and the interpreter need real room); the point is
+that a *runaway queue* would blow through it and the job would die, while
+the bounded pipeline must stay comfortably inside.
+
+Failure conditions (any -> exit 1):
+
+* a queue's peak occupancy exceeds its configured capacity;
+* a tagged alert is silently dropped: a ``tagged-alert`` shed count, or a
+  spill total that does not match the dead-letter queue's
+  ``shed-overload`` accounting;
+* record conservation breaks: admitted + shed + spilled != the unbounded
+  run's message count;
+* the overload metrics fail to appear in ``PipelineResult.summary()``.
+
+Usage: PYTHONPATH=src python scripts/overload_regression.py [--scale S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+ADDRESS_SPACE_CAP = 4 * 1024**3  # 4 GiB: generous, but fatal to a leak
+
+
+def cap_address_space() -> bool:
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform: run uncapped
+        return False
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    cap = ADDRESS_SPACE_CAP if hard == resource.RLIM_INFINITY \
+        else min(ADDRESS_SPACE_CAP, hard)
+    resource.setrlimit(resource.RLIMIT_AS, (cap, hard))
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=2e-5)
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--max-buffer", type=int, default=512)
+    args = parser.parse_args()
+
+    if cap_address_space():
+        print(f"address-space cap: {ADDRESS_SPACE_CAP / 1024**3:.1f} GiB")
+    else:
+        print("address-space cap: unavailable on this platform")
+
+    from repro import pipeline
+    from repro.resilience.backpressure import BackpressureConfig
+    from repro.resilience.deadletter import REASON_SHED_OVERLOAD
+    from repro.resilience.shedding import CLASS_ALERT
+    from repro.systems.specs import SYSTEMS
+
+    failures = []
+    for system in sorted(SYSTEMS):
+        scale = args.scale * (100 if system == "bgl" else 1)
+        baseline = pipeline.run_system(system, scale=scale, seed=args.seed)
+        config = BackpressureConfig.burst(
+            factor=10.0, service_batch=32,
+            max_buffer=args.max_buffer, filter_buffer=args.max_buffer // 4,
+        )
+        result = pipeline.run_system(
+            system, scale=scale, seed=args.seed, backpressure=config,
+        )
+        report = result.overload
+
+        for name, peak in report.queue_peaks.items():
+            bound = report.queue_capacities[name]
+            if peak > bound:
+                failures.append(
+                    f"{system}: queue {name} peaked at {peak} > bound {bound}"
+                )
+        if report.shed_by_class.get(CLASS_ALERT):
+            failures.append(
+                f"{system}: {report.shed_by_class[CLASS_ALERT]} tagged "
+                "alerts silently shed"
+            )
+        spilled_in_dlq = result.dead_letters.by_reason.get(
+            REASON_SHED_OVERLOAD, 0
+        )
+        if report.total_spilled != spilled_in_dlq:
+            failures.append(
+                f"{system}: {report.total_spilled} spills but only "
+                f"{spilled_in_dlq} accounted in the dead-letter queue"
+            )
+        accounted = (
+            result.message_count + report.total_shed + report.total_spilled
+        )
+        if accounted != baseline.message_count:
+            failures.append(
+                f"{system}: conservation broken — {accounted} accounted vs "
+                f"{baseline.message_count} generated"
+            )
+        if "queues (peak)" not in result.summary():
+            failures.append(f"{system}: overload metrics missing in summary()")
+
+        peaks = ", ".join(
+            f"{name} {peak}/{report.queue_capacities[name]}"
+            for name, peak in sorted(report.queue_peaks.items())
+        )
+        print(
+            f"{system:>12}: {result.message_count:,} admitted, "
+            f"{report.total_shed:,} shed, {report.total_spilled:,} spilled "
+            f"(of {baseline.message_count:,}); peaks: {peaks}"
+        )
+
+    if failures:
+        print("\nOVERLOAD REGRESSION FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall overload invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

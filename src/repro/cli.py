@@ -22,8 +22,10 @@ from .logio.reader import read_log
 from .logio.writer import write_log
 from .logmodel.anonymize import Pseudonymizer
 from .reporting import tables
+from .resilience.backpressure import BackpressureConfig
 from .resilience.deadletter import DeadLetterQueue
 from .resilience.faults import FaultConfig
+from .resilience.shedding import SHED_POLICIES
 from .reporting.format import render_table
 from .simulation.generator import generate_log
 from .systems.specs import SYSTEMS
@@ -81,6 +83,13 @@ def cmd_study(args: argparse.Namespace) -> int:
     if args.faults:
         fault_seed = args.seed if args.fault_seed is None else args.fault_seed
         faults = FaultConfig.defaults(seed=fault_seed)
+    backpressure = None
+    if args.max_buffer is not None:
+        backpressure = BackpressureConfig(
+            max_buffer=args.max_buffer,
+            shed_policy=args.shed_policy,
+            degrade=args.overload_degrade,
+        )
     results = {}
     for system in SYSTEM_CHOICES:
         scale = args.scale * (100 if system == "bgl" else 1)
@@ -88,6 +97,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             system, scale=scale, seed=args.seed, faults=faults,
             restart_budget=args.restart_budget,
             checkpoint_every=args.checkpoint_every,
+            backpressure=backpressure,
         )
         results[system] = result
         line = (f"# {system}: {result.message_count:,} messages, "
@@ -96,6 +106,11 @@ def cmd_study(args: argparse.Namespace) -> int:
             line += (f" [restarts: {result.restarts}, "
                      f"dead letters: {result.dead_letter_count}"
                      f"{', DEGRADED' if result.degraded else ''}]")
+        if result.overload is not None:
+            acct = result.overload
+            line += (f" [shed: {acct.total_shed}, "
+                     f"spilled: {acct.total_spilled}"
+                     f"{', OVERLOAD-DEGRADED' if acct.degraded else ''}]")
         print(line, file=sys.stderr)
     print(tables.all_tables(results))
     return 0
@@ -185,6 +200,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max supervisor restarts per system")
     p_study.add_argument("--checkpoint-every", type=int, default=2000,
                          help="checkpoint interval in records")
+    p_study.add_argument("--max-buffer", type=int, default=None,
+                         help="run bounded: cap the generate->tag queue at "
+                              "this many records (backpressure + load "
+                              "shedding instead of unbounded memory)")
+    p_study.add_argument("--shed-policy", choices=sorted(SHED_POLICIES),
+                         default="priority",
+                         help="what to lose first under overload "
+                              "(requires --max-buffer)")
+    p_study.add_argument("--overload-degrade", action="store_true",
+                         help="on sustained overload, degrade gracefully: "
+                              "coarser stats and a larger filter threshold "
+                              "instead of unbounded queue growth")
     p_study.set_defaults(func=cmd_study)
 
     p_anon = sub.add_parser(

@@ -4,13 +4,19 @@ The inverse of :mod:`repro.logio.writer`: opens a (possibly gzipped) log
 file and lazily parses each line with the system's format parser in
 tolerant mode, so a damaged file reads completely with corrupted records
 flagged rather than raising mid-stream.
+
+:func:`read_log` returns a :class:`LogReader`, a closeable iterator: the
+file handle is released deterministically when the stream is exhausted,
+when :meth:`LogReader.close` is called, or when the reader is used as a
+context manager — not at whatever later point the garbage collector gets
+around to a generator abandoned by an early ``break``.
 """
 
 from __future__ import annotations
 
 import gzip
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
 from ..logmodel.bgl import parse_bgl_line
 from ..logmodel.record import LogRecord
@@ -26,40 +32,128 @@ def _open_text(path: Path):
     return open(path, "rt", encoding="utf-8", errors="replace")
 
 
-def read_log(path: PathLike, system: str, year: int = 2005) -> Iterator[LogRecord]:
+def _parse_records(handle, system: str, year: int) -> Iterator[LogRecord]:
+    if system == "bgl":
+        for line in handle:
+            if line.strip():
+                yield parse_bgl_line(line.rstrip("\n"))
+    elif system == "redstorm":
+        previous = None
+        current_year = year
+        for line in handle:
+            if not line.strip():
+                continue
+            record = parse_redstorm_line(line.rstrip("\n"), current_year)
+            # BSD-syslog lines carry no year: detect rollover the way
+            # syslog daemons do (a >half-year backwards jump).
+            if (
+                previous is not None
+                and not record.corrupted
+                and previous - record.timestamp > 182 * 86400.0
+            ):
+                current_year += 1
+                record = parse_redstorm_line(line.rstrip("\n"), current_year)
+            if not record.corrupted:
+                previous = record.timestamp
+            yield record
+    else:
+        yield from parse_syslog_stream(handle, year, system=system)
+
+
+class LogReader:
+    """Closeable record iterator over one native-format log file.
+
+    Iterating yields :class:`~repro.logmodel.record.LogRecord` objects.
+    The underlying file handle is closed as soon as the last record is
+    yielded; a consumer that stops early (``break``, an exception, an
+    ``islice``) should call :meth:`close` or use the reader as a context
+    manager — ``__del__`` is only the backstop.
+
+    Parameters
+    ----------
+    read_ahead:
+        When positive, records are staged through a bounded buffer of at
+        most this many parsed records (chunked refills at the low
+        watermark), decoupling parse bursts from consumer pace while
+        keeping memory bounded.  Zero (default) parses strictly on
+        demand.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        system: str,
+        year: int = 2005,
+        read_ahead: int = 0,
+    ):
+        if read_ahead < 0:
+            raise ValueError("read_ahead must be non-negative")
+        self.path = Path(path)
+        self.system = system
+        self._handle = _open_text(self.path)
+        self._records: Optional[Iterator[LogRecord]] = _parse_records(
+            self._handle, system, year
+        )
+        if read_ahead:
+            # Local import: logio is a lower layer than resilience for
+            # checkpointing purposes; a module-level import would cycle.
+            from ..resilience.backpressure import BoundedQueue, bounded_buffer
+
+            self._records = bounded_buffer(
+                self._records,
+                BoundedQueue(f"{self.path.name}-readahead", read_ahead),
+                chunk=min(64, read_ahead),
+            )
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __iter__(self) -> "LogReader":
+        return self
+
+    def __next__(self) -> LogRecord:
+        if self._records is None:
+            raise StopIteration
+        try:
+            return next(self._records)
+        except StopIteration:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Release the parse generator and the file handle; idempotent."""
+        records, self._records = self._records, None
+        if records is not None and hasattr(records, "close"):
+            records.close()
+        self._handle.close()
+
+    def __enter__(self) -> "LogReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def read_log(
+    path: PathLike, system: str, year: int = 2005, read_ahead: int = 0
+) -> LogReader:
     """Lazily parse a native-format log file into records.
 
     ``year`` seeds the syslog timestamp parser (BSD syslog carries no
     year; the stream parser handles rollover when a log spans New Year).
     BG/L lines carry full dates and ignore it.
+
+    Returns a :class:`LogReader`; see there for handle-lifetime and
+    ``read_ahead`` semantics.
     """
-    path = Path(path)
-    with _open_text(path) as handle:
-        if system == "bgl":
-            for line in handle:
-                if line.strip():
-                    yield parse_bgl_line(line.rstrip("\n"))
-        elif system == "redstorm":
-            previous = None
-            current_year = year
-            for line in handle:
-                if not line.strip():
-                    continue
-                record = parse_redstorm_line(line.rstrip("\n"), current_year)
-                # BSD-syslog lines carry no year: detect rollover the way
-                # syslog daemons do (a >half-year backwards jump).
-                if (
-                    previous is not None
-                    and not record.corrupted
-                    and previous - record.timestamp > 182 * 86400.0
-                ):
-                    current_year += 1
-                    record = parse_redstorm_line(line.rstrip("\n"), current_year)
-                if not record.corrupted:
-                    previous = record.timestamp
-                yield record
-        else:
-            yield from parse_syslog_stream(handle, year, system=system)
+    return LogReader(path, system, year=year, read_ahead=read_ahead)
 
 
 def count_lines(path: PathLike) -> int:

@@ -84,21 +84,31 @@ class StatsCollector:
         self._render = renderer_for(system)
         self._compressor = zlib.compressobj(compression_level)
         self._flushed = False
+        #: Coarse mode (overload degradation): skip the compressed-size
+        #: measurement, the expensive part of the per-record work.  The
+        #: count/size/span columns stay exact; ``compressed_bytes`` covers
+        #: only the records observed before coarsening.
+        self.coarse = False
+
+    def observe_record(self, record: LogRecord) -> None:
+        """Accumulate one record (the per-record form of :meth:`observe`)."""
+        line = self._render(record) + "\n"
+        data = line.encode("utf-8", "replace")
+        self.stats.messages += 1
+        self.stats.raw_bytes += len(data)
+        if not self.coarse:
+            self.stats.compressed_bytes += len(self._compressor.compress(data))
+        if self.stats.first_timestamp is None:
+            self.stats.first_timestamp = record.timestamp
+        if (
+            self.stats.last_timestamp is None
+            or record.timestamp > self.stats.last_timestamp
+        ):
+            self.stats.last_timestamp = record.timestamp
 
     def observe(self, records: Iterable[LogRecord]) -> Iterator[LogRecord]:
         for record in records:
-            line = self._render(record) + "\n"
-            data = line.encode("utf-8", "replace")
-            self.stats.messages += 1
-            self.stats.raw_bytes += len(data)
-            self.stats.compressed_bytes += len(self._compressor.compress(data))
-            if self.stats.first_timestamp is None:
-                self.stats.first_timestamp = record.timestamp
-            if (
-                self.stats.last_timestamp is None
-                or record.timestamp > self.stats.last_timestamp
-            ):
-                self.stats.last_timestamp = record.timestamp
+            self.observe_record(record)
             yield record
         self.finish()
 

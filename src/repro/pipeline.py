@@ -47,6 +47,15 @@ from .core.tagging import Tagger
 from .analysis.severity_eval import SeverityCrossTab
 from .logio.stats import LogStats, StatsCollector
 from .logmodel.record import LogRecord
+from .resilience.backpressure import (
+    SHED,
+    SPILL,
+    BackpressureConfig,
+    BoundedQueue,
+    CreditGate,
+    OverloadMonitor,
+    OverloadReport,
+)
 from .resilience.checkpoint import (
     CheckpointManager,
     PipelineCheckpoint,
@@ -57,8 +66,10 @@ from .resilience.deadletter import (
     DeadLetterQueue,
     REASON_INVALID_RECORD,
     REASON_OUT_OF_ORDER,
+    REASON_SHED_OVERLOAD,
     REASON_TAGGER_ERROR,
 )
+from .resilience.shedding import ShedAccounting, get_shed_policy
 from .simulation.generator import GeneratedLog, LogGenerator
 
 #: How far back an alert timestamp may run (collector fan-in jitter,
@@ -84,6 +95,7 @@ class PipelineResult:
     degraded: bool = False
     restarts: int = 0
     failure_log: List[str] = field(default_factory=list)
+    overload: Optional[OverloadReport] = None
 
     @property
     def message_count(self) -> int:
@@ -126,6 +138,8 @@ class PipelineResult:
         ]
         if self.dead_letters is not None and self.dead_letters.quarantined:
             lines.append(f"dead letters:      {self.dead_letters.summary()}")
+        if self.overload is not None:
+            lines.extend(self.overload.summary_lines())
         if self.restarts:
             lines.append(f"restarts:          {self.restarts}")
         if self.degraded:
@@ -146,36 +160,14 @@ def _valid_record(record: LogRecord) -> bool:
     return isinstance(record.body, str) and isinstance(record.source, str)
 
 
-def run_stream(
-    records: Iterable[LogRecord],
+def _restore_or_init(
     system: str,
-    threshold: float = DEFAULT_THRESHOLD,
-    generated: Optional[GeneratedLog] = None,
-    dead_letters: Optional[DeadLetterQueue] = None,
-    checkpointer: Optional[CheckpointManager] = None,
-    resume_from: Optional[PipelineCheckpoint] = None,
-    reorder_tolerance: float = DEFAULT_REORDER_TOLERANCE,
-) -> PipelineResult:
-    """Run the measurement/tag/filter pipeline over any record stream.
-
-    Single pass: volume statistics, severity cross-tab, tagging, and
-    filtering all happen as the stream flows through, so an arbitrarily
-    large log needs constant memory beyond the alert lists.
-
-    With ``dead_letters`` attached the pipeline quarantines what it cannot
-    process — malformed records, records that crash the tagger, alerts
-    whose timestamps run backwards beyond ``reorder_tolerance`` — instead
-    of raising.  Without a queue the historical strict behavior holds.
-
-    With a ``checkpointer``, resumable snapshots are taken every
-    ``checkpointer.every`` input records; pass the last snapshot back as
-    ``resume_from`` (with the *same* deterministic stream) after a crash
-    and the run continues without reprocessing, landing byte-identical to
-    an uninterrupted run.
-    """
-    tagger = Tagger(get_ruleset(system))
-    source = iter(records)
-
+    threshold: float,
+    resume_from: Optional[PipelineCheckpoint],
+    dead_letters: Optional[DeadLetterQueue],
+    reorder_tolerance: float,
+):
+    """Fresh streaming state, or state restored from a checkpoint."""
     if resume_from is not None:
         if resume_from.system != system:
             raise ValueError(
@@ -193,7 +185,6 @@ def run_stream(
         consumed = resume_from.records_consumed
         if dead_letters is not None:
             dead_letters.restore(resume_from.dead_letters)
-        source = islice(source, consumed, None)
     else:
         stats_collector = StatsCollector(system)
         stf = SpatioTemporalFilter(threshold, reorder_tolerance=reorder_tolerance)
@@ -203,6 +194,59 @@ def run_stream(
         filtered_alerts = []
         corrupted = 0
         consumed = 0
+    return (stats_collector, stf, report, severity_tab, raw_alerts,
+            filtered_alerts, corrupted, consumed)
+
+
+def run_stream(
+    records: Iterable[LogRecord],
+    system: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    generated: Optional[GeneratedLog] = None,
+    dead_letters: Optional[DeadLetterQueue] = None,
+    checkpointer: Optional[CheckpointManager] = None,
+    resume_from: Optional[PipelineCheckpoint] = None,
+    reorder_tolerance: float = DEFAULT_REORDER_TOLERANCE,
+    backpressure: Optional[BackpressureConfig] = None,
+) -> PipelineResult:
+    """Run the measurement/tag/filter pipeline over any record stream.
+
+    Single pass: volume statistics, severity cross-tab, tagging, and
+    filtering all happen as the stream flows through, so an arbitrarily
+    large log needs constant memory beyond the alert lists.
+
+    With ``dead_letters`` attached the pipeline quarantines what it cannot
+    process — malformed records, records that crash the tagger, alerts
+    whose timestamps run backwards beyond ``reorder_tolerance`` — instead
+    of raising.  Without a queue the historical strict behavior holds.
+
+    With a ``checkpointer``, resumable snapshots are taken every
+    ``checkpointer.every`` input records; pass the last snapshot back as
+    ``resume_from`` (with the *same* deterministic stream) after a crash
+    and the run continues without reprocessing, landing byte-identical to
+    an uninterrupted run.
+
+    With ``backpressure`` (a :class:`BackpressureConfig`), the stages run
+    behind bounded queues with credit-based flow control and
+    priority-aware load shedding — see :func:`_run_bounded` — and the
+    result carries an :class:`OverloadReport`.
+    """
+    if backpressure is not None:
+        return _run_bounded(
+            records, system, threshold=threshold, generated=generated,
+            dead_letters=dead_letters, checkpointer=checkpointer,
+            resume_from=resume_from, reorder_tolerance=reorder_tolerance,
+            config=backpressure,
+        )
+    tagger = Tagger(get_ruleset(system))
+    source = iter(records)
+
+    (stats_collector, stf, report, severity_tab, raw_alerts,
+     filtered_alerts, corrupted, consumed) = _restore_or_init(
+        system, threshold, resume_from, dead_letters, reorder_tolerance
+    )
+    if resume_from is not None:
+        source = islice(source, consumed, None)
 
     if checkpointer is not None:
         checkpointer.prime(resume_from)
@@ -274,6 +318,180 @@ def run_stream(
     )
 
 
+def _run_bounded(
+    records: Iterable[LogRecord],
+    system: str,
+    threshold: float,
+    generated: Optional[GeneratedLog],
+    dead_letters: Optional[DeadLetterQueue],
+    checkpointer: Optional[CheckpointManager],
+    resume_from: Optional[PipelineCheckpoint],
+    reorder_tolerance: float,
+    config: BackpressureConfig,
+) -> PipelineResult:
+    """The bounded-memory form of :func:`run_stream`.
+
+    The stages run behind bounded queues — generate/collect -> ``ingest``
+    -> tag -> ``filter`` -> filter/report — driven in ticks: per tick the
+    source offers ``arrival_batch`` records, tagging serves
+    ``service_batch``, filtering serves ``filter_batch``.  A pausable
+    source is slowed by credit-based flow control (nothing lost); an
+    unpausable one goes through the shed policy, which degrades in the
+    paper-aware order: INFO chatter first, duplicate-category alerts
+    next, tagged alerts never — those spill to the dead-letter queue with
+    exact accounting.  Sustained overload (the monitor's high-watermark
+    flag) optionally degrades the run — coarser stats, larger filter
+    ``T`` — instead of growing without bound.
+
+    Checkpoints are taken only at drained-queue barriers, so a resumed
+    bounded run replays cleanly; unlike the unbounded path, shedding
+    makes resumed results equivalent within shedding tolerance rather
+    than byte-identical.
+    """
+    tagger = Tagger(get_ruleset(system))
+    if dead_letters is None:
+        # Bounded mode must never lose a tagged alert silently: the spill
+        # path needs somewhere accounted to land.
+        dead_letters = DeadLetterQueue()
+    window = threshold if config.dedup_window is None else config.dedup_window
+    policy = get_shed_policy(config.shed_policy, dedup_window=window).bind(tagger)
+    accounting = (
+        config.accounting if config.accounting is not None else ShedAccounting()
+    )
+    monitor = (
+        config.monitor if config.monitor is not None
+        else OverloadMonitor(sustain=config.sustain)
+    )
+    ingest_q = monitor.attach(BoundedQueue(
+        "ingest", config.max_buffer, config.watermarks_for(config.max_buffer)
+    ))
+    alert_q = monitor.attach(BoundedQueue(
+        "filter", config.filter_buffer, config.watermarks_for(config.filter_buffer)
+    ))
+    gate = CreditGate(ingest_q)
+
+    (stats_collector, stf, report, severity_tab, raw_alerts,
+     filtered_alerts, corrupted, consumed) = _restore_or_init(
+        system, threshold, resume_from, dead_letters, reorder_tolerance
+    )
+    source = iter(records)
+    if resume_from is not None:
+        source = islice(source, consumed, None)
+    if checkpointer is not None:
+        checkpointer.prime(resume_from)
+
+    def snapshot() -> PipelineCheckpoint:
+        return PipelineCheckpoint(
+            system=system,
+            threshold=threshold,
+            records_consumed=consumed,
+            stats=stats_collector.snapshot(),
+            filter_state=stf.state_dict(),
+            report=copy_report(report),
+            severity=copy_severity(severity_tab),
+            raw_alerts=tuple(raw_alerts),
+            filtered_alerts=tuple(filtered_alerts),
+            corrupted_messages=corrupted,
+            dead_letters=dead_letters.snapshot(),
+        )
+
+    degraded_overload = False
+    exhausted = False
+    while not exhausted or ingest_q or alert_q:
+        # -- arrivals: the source offers a batch; credits pace it --------
+        if not exhausted:
+            want = config.arrival_batch
+            if config.source_pausable:
+                want = gate.acquire(want)
+            arrived = 0
+            for _ in range(want):
+                try:
+                    record = next(source)
+                except StopIteration:
+                    exhausted = True
+                    break
+                consumed += 1
+                arrived += 1
+                if not _valid_record(record):
+                    dead_letters.put(record, REASON_INVALID_RECORD)
+                    continue
+                decision, klass = policy.decide(record, ingest_q.pressure())
+                accounting.count_offered(klass)
+                if decision == SHED:
+                    accounting.count_shed(klass)
+                    continue
+                if decision == SPILL or not ingest_q.put(record):
+                    accounting.count_spilled(klass)
+                    dead_letters.put(record, REASON_SHED_OVERLOAD, klass)
+            monitor.note_throughput("arrive", arrived)
+
+        # -- tag/stats stage: halts when the filter queue is full, which
+        #    is how downstream pressure propagates upstream ---------------
+        served = 0
+        while served < config.service_batch and ingest_q and not alert_q.full:
+            record = ingest_q.get()
+            served += 1
+            stats_collector.observe_record(record)
+            if record.corrupted:
+                corrupted += 1
+            try:
+                alert = tagger.tag(record)
+            except Exception as exc:
+                dead_letters.put(record, REASON_TAGGER_ERROR, repr(exc))
+                continue
+            severity_tab.add(record, alert is not None)
+            if alert is not None:
+                alert_q.put(alert)
+        monitor.note_throughput("tag", served)
+
+        # -- filter stage -------------------------------------------------
+        drained = 0
+        while drained < config.filter_batch and alert_q:
+            alert = alert_q.get()
+            drained += 1
+            try:
+                kept = stf.offer(alert)
+            except OutOfOrderError as exc:
+                dead_letters.put(alert.record, REASON_OUT_OF_ORDER, str(exc))
+                continue
+            raw_alerts.append(alert)
+            report.record(alert, kept)
+            if kept:
+                filtered_alerts.append(alert)
+        monitor.note_throughput("filter", drained)
+
+        # -- overload monitoring and graceful degradation ----------------
+        monitor.sample()
+        if config.degrade and monitor.sustained_overload and not degraded_overload:
+            degraded_overload = True
+            stf.threshold = threshold * config.degrade_threshold_factor
+            if config.degrade_coarse_stats:
+                stats_collector.coarse = True
+            monitor.events.append(
+                f"degraded mode entered: filter T raised to {stf.threshold:g}s"
+                + (", stats coarsened" if config.degrade_coarse_stats else "")
+            )
+        if checkpointer is not None and not ingest_q and not alert_q:
+            checkpointer.maybe(consumed, snapshot)
+
+    return PipelineResult(
+        system=system,
+        stats=stats_collector.finish(),
+        raw_alerts=raw_alerts,
+        filtered_alerts=filtered_alerts,
+        filter_report=report,
+        severity_tab=severity_tab,
+        corrupted_messages=corrupted,
+        generated=generated,
+        threshold=threshold,
+        dead_letters=dead_letters,
+        overload=OverloadReport.from_parts(
+            monitor=monitor, accounting=accounting, gate=gate,
+            degraded=degraded_overload,
+        ),
+    )
+
+
 def run_system(
     system: str,
     scale: float = 1e-4,
@@ -284,6 +502,7 @@ def run_system(
     supervised: bool = False,
     restart_budget: int = 3,
     checkpoint_every: int = 2000,
+    backpressure: Optional[BackpressureConfig] = None,
     **generator_kwargs,
 ) -> PipelineResult:
     """Generate one machine's log and run the full pipeline over it.
@@ -293,6 +512,10 @@ def run_system(
     real worker failures are caught, the run restarts from the latest
     checkpoint (at most ``restart_budget`` times), and the result reports
     ``degraded``/dead-letter state instead of raising.
+
+    Pass ``backpressure`` (a :class:`BackpressureConfig`) to run with
+    bounded inter-stage queues and priority-aware load shedding; the two
+    compose — a supervised run can also be bounded.
     """
     if faults is not None or supervised:
         from .resilience.supervisor import PipelineSupervisor
@@ -302,7 +525,8 @@ def run_system(
         )
         return supervisor.run_system(
             system, scale=scale, seed=seed, threshold=threshold,
-            incident_scale=incident_scale, faults=faults, **generator_kwargs,
+            incident_scale=incident_scale, faults=faults,
+            backpressure=backpressure, **generator_kwargs,
         )
     generator = LogGenerator(
         system, scale=scale, seed=seed, incident_scale=incident_scale,
@@ -310,7 +534,8 @@ def run_system(
     )
     generated = generator.generate()
     return run_stream(
-        generated.records, system, threshold=threshold, generated=generated
+        generated.records, system, threshold=threshold, generated=generated,
+        backpressure=backpressure,
     )
 
 
@@ -322,13 +547,16 @@ def run_all(
     supervised: bool = False,
     restart_budget: int = 3,
     checkpoint_every: int = 2000,
+    backpressure: Optional[BackpressureConfig] = None,
     **generator_kwargs,
 ) -> Dict[str, PipelineResult]:
     """Run the pipeline for all five machines (Table 2's full study).
 
     With ``faults``/``supervised`` the whole study runs under supervision:
     every system completes — possibly degraded, never raising — and each
-    result carries its dead-letter and restart accounting.
+    result carries its dead-letter and restart accounting.  With
+    ``backpressure``, every system runs bounded; each gets its own queues
+    and accounting.
     """
     from .systems.specs import SYSTEMS
 
@@ -337,7 +565,7 @@ def run_all(
             name, scale=scale, seed=seed, threshold=threshold,
             faults=faults, supervised=supervised,
             restart_budget=restart_budget, checkpoint_every=checkpoint_every,
-            **generator_kwargs,
+            backpressure=backpressure, **generator_kwargs,
         )
         for name in SYSTEMS
     }

@@ -17,9 +17,25 @@ paper catalogs, the way production HPC log-analytics stacks do:
   pipeline state for exact crash/resume;
 * :mod:`~repro.resilience.supervisor` — bounded-restart supervision of
   per-system pipeline workers, degrading to a partial result (never an
-  unhandled exception) when the budget runs out.
+  unhandled exception) when the budget runs out;
+* :mod:`~repro.resilience.backpressure` — bounded inter-stage queues with
+  watermarks, credit-based flow control, and the overload monitor behind
+  bounded-memory runs;
+* :mod:`~repro.resilience.shedding` — priority-aware load-shedding
+  policies that degrade in paper order: INFO chatter first, duplicate
+  alerts next, tagged alerts never (they spill to the dead-letter queue).
 """
 
+from .backpressure import (
+    BackpressureConfig,
+    BoundedQueue,
+    CreditGate,
+    OverloadMonitor,
+    OverloadReport,
+    PressureLevel,
+    Watermarks,
+    bounded_buffer,
+)
 from .checkpoint import CheckpointManager, PipelineCheckpoint
 from .deadletter import DeadLetter, DeadLetterQueue, DeadLetterSnapshot
 from .faults import (
@@ -44,6 +60,14 @@ from .retry import (
     RetryError,
     RetryPolicy,
     with_retry,
+)
+from .shedding import (
+    ChatterOnlyShedPolicy,
+    NoShedPolicy,
+    PriorityShedPolicy,
+    ShedAccounting,
+    ShedPolicy,
+    get_shed_policy,
 )
 
 
@@ -84,5 +108,19 @@ __all__ = [
     "RetryError",
     "RetryPolicy",
     "with_retry",
+    "BackpressureConfig",
+    "BoundedQueue",
+    "CreditGate",
+    "OverloadMonitor",
+    "OverloadReport",
+    "PressureLevel",
+    "Watermarks",
+    "bounded_buffer",
+    "ChatterOnlyShedPolicy",
+    "NoShedPolicy",
+    "PriorityShedPolicy",
+    "ShedAccounting",
+    "ShedPolicy",
+    "get_shed_policy",
     "PipelineSupervisor",
 ]

@@ -29,6 +29,7 @@ REASON_TAGGER_ERROR = "tagger-error"
 REASON_OUT_OF_ORDER = "out-of-order"
 REASON_CIRCUIT_OPEN = "circuit-open"
 REASON_RETRIES_EXHAUSTED = "retries-exhausted"
+REASON_SHED_OVERLOAD = "shed-overload"
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,7 @@ class DeadLetterSnapshot:
     by_reason: Tuple[Tuple[str, int], ...]
     quarantined: int
     evicted: int
+    evicted_counts: Tuple[Tuple[str, int], ...] = ()
 
 
 class DeadLetterQueue:
@@ -67,6 +69,7 @@ class DeadLetterQueue:
         self.quarantined = 0
         self.evicted = 0
         self.by_reason: Dict[str, int] = {}
+        self.evicted_counts: Dict[str, int] = {}
         self._letters: Deque[DeadLetter] = deque(maxlen=capacity)
 
     def put(self, record: LogRecord, reason: str, detail: str = "") -> None:
@@ -74,7 +77,11 @@ class DeadLetterQueue:
         self.quarantined += 1
         self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
         if len(self._letters) == self.capacity:
+            evicted = self._letters[0]
             self.evicted += 1
+            self.evicted_counts[evicted.reason] = (
+                self.evicted_counts.get(evicted.reason, 0) + 1
+            )
         self._letters.append(DeadLetter(record=record, reason=reason, detail=detail))
 
     def __len__(self) -> int:
@@ -94,6 +101,7 @@ class DeadLetterQueue:
             by_reason=tuple(sorted(self.by_reason.items())),
             quarantined=self.quarantined,
             evicted=self.evicted,
+            evicted_counts=tuple(sorted(self.evicted_counts.items())),
         )
 
     def restore(self, snapshot: Optional[DeadLetterSnapshot]) -> None:
@@ -103,6 +111,7 @@ class DeadLetterQueue:
         """
         self._letters.clear()
         self.by_reason = {}
+        self.evicted_counts = {}
         if snapshot is None:
             self.quarantined = 0
             self.evicted = 0
@@ -111,6 +120,7 @@ class DeadLetterQueue:
         self.by_reason = dict(snapshot.by_reason)
         self.quarantined = snapshot.quarantined
         self.evicted = snapshot.evicted
+        self.evicted_counts = dict(snapshot.evicted_counts)
 
     def summary(self) -> str:
         """One line: total plus per-reason counts, stable order."""
@@ -119,4 +129,11 @@ class DeadLetterQueue:
         reasons = ", ".join(
             f"{reason}: {count}" for reason, count in sorted(self.by_reason.items())
         )
-        return f"{self.quarantined} quarantined ({reasons})"
+        text = f"{self.quarantined} quarantined ({reasons})"
+        if self.evicted:
+            evictions = ", ".join(
+                f"{reason}: {count}"
+                for reason, count in sorted(self.evicted_counts.items())
+            )
+            text += f"; {self.evicted} letters evicted ({evictions})"
+        return text

@@ -27,9 +27,11 @@ from ..core.filtering import DEFAULT_THRESHOLD, FilterReport
 from ..analysis.severity_eval import SeverityCrossTab
 from ..logio.stats import StatsCollector
 from ..simulation.generator import LogGenerator
+from .backpressure import BackpressureConfig, OverloadMonitor, OverloadReport
 from .checkpoint import CheckpointManager, PipelineCheckpoint
 from .deadletter import DeadLetterQueue
 from .faults import FaultConfig, FaultPlan
+from .shedding import ShedAccounting
 
 
 class PipelineSupervisor:
@@ -66,13 +68,26 @@ class PipelineSupervisor:
         threshold: float = DEFAULT_THRESHOLD,
         incident_scale: float = 1.0,
         faults: Optional[FaultConfig] = None,
+        backpressure: Optional[BackpressureConfig] = None,
         **generator_kwargs,
     ) -> "_pipeline.PipelineResult":
         """Run one system to completion under supervision; never raises
-        for worker failures — worst case returns a degraded partial."""
+        for worker failures — worst case returns a degraded partial.
+
+        With ``backpressure``, every attempt runs bounded, and the
+        overload monitor and shed accounting are shared across attempts:
+        the final (possibly degraded) result reports the whole supervised
+        run's overload behavior, not just the last attempt's.
+        """
         plan = FaultPlan(faults) if faults is not None else None
         manager = CheckpointManager(every=self.checkpoint_every)
         dead_letters = DeadLetterQueue(capacity=self.dead_letter_capacity)
+        if backpressure is not None:
+            backpressure = backpressure.with_runtime(
+                monitor=backpressure.monitor
+                or OverloadMonitor(sustain=backpressure.sustain),
+                accounting=backpressure.accounting or ShedAccounting(),
+            )
         failure_log: List[str] = []
         checkpoint: Optional[PipelineCheckpoint] = None
         generated = None
@@ -90,7 +105,7 @@ class PipelineSupervisor:
                 result = _pipeline.run_stream(
                     records, system, threshold=threshold, generated=generated,
                     dead_letters=dead_letters, checkpointer=manager,
-                    resume_from=checkpoint,
+                    resume_from=checkpoint, backpressure=backpressure,
                 )
             except Exception as exc:  # worker died: restart from checkpoint
                 failure_log.append(
@@ -103,7 +118,8 @@ class PipelineSupervisor:
             return result
 
         return self._degraded_result(
-            system, threshold, checkpoint, dead_letters, failure_log
+            system, threshold, checkpoint, dead_letters, failure_log,
+            backpressure=backpressure,
         )
 
     def run_all(
@@ -112,6 +128,7 @@ class PipelineSupervisor:
         seed: int = 2007,
         threshold: float = DEFAULT_THRESHOLD,
         faults: Optional[FaultConfig] = None,
+        backpressure: Optional[BackpressureConfig] = None,
         **generator_kwargs,
     ) -> Dict[str, "_pipeline.PipelineResult"]:
         """All five systems, each supervised independently: one system
@@ -121,7 +138,7 @@ class PipelineSupervisor:
         return {
             name: self.run_system(
                 name, scale=scale, seed=seed, threshold=threshold,
-                faults=faults, **generator_kwargs,
+                faults=faults, backpressure=backpressure, **generator_kwargs,
             )
             for name in SYSTEMS
         }
@@ -133,6 +150,7 @@ class PipelineSupervisor:
         checkpoint: Optional[PipelineCheckpoint],
         dead_letters: DeadLetterQueue,
         failure_log: List[str],
+        backpressure: Optional[BackpressureConfig] = None,
     ) -> "_pipeline.PipelineResult":
         """The partial result covering the stream up to the last
         checkpoint (or nothing, if the worker never survived one)."""
@@ -150,6 +168,14 @@ class PipelineSupervisor:
             severity = SeverityCrossTab()
             raw, filtered, corrupted = [], [], 0
             dead_letters.restore(None)
+        overload = None
+        if backpressure is not None:
+            # The shared monitor/accounting saw every attempt; surface the
+            # overload picture even though the run never completed.
+            overload = OverloadReport.from_parts(
+                monitor=backpressure.monitor,
+                accounting=backpressure.accounting,
+            )
         result = _pipeline.PipelineResult(
             system=system,
             stats=stats,
@@ -163,5 +189,6 @@ class PipelineSupervisor:
             degraded=True,
             restarts=self.restart_budget,
             failure_log=failure_log,
+            overload=overload,
         )
         return result

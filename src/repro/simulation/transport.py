@@ -41,6 +41,17 @@ class UdpSyslogChannel:
     congestion_rate:
         Messages/second over a 1-second trailing window considered full
         contention.
+    receiver_queue:
+        Optional bounded receive buffer
+        (:class:`~repro.resilience.backpressure.BoundedQueue`).  UDP has
+        no flow control, so a backed-up receiver cannot slow the senders;
+        instead its kernel buffer overflows.  When the queue's pressure is
+        elevated an extra ``pressure_loss`` drop probability applies
+        (scaled by how far past the high watermark it sits); those drops
+        are counted separately in :attr:`dropped_pressure`.
+    pressure_loss:
+        Additional drop probability when ``receiver_queue`` is completely
+        full (interpolated from 0 at the high watermark).
     """
 
     def __init__(
@@ -49,17 +60,24 @@ class UdpSyslogChannel:
         base_loss: float = 0.001,
         congestion_loss: float = 0.05,
         congestion_rate: float = 500.0,
+        receiver_queue=None,
+        pressure_loss: float = 0.25,
     ):
         if not 0 <= base_loss <= 1 or not 0 <= congestion_loss <= 1:
             raise ValueError("loss probabilities must be in [0, 1]")
+        if not 0 <= pressure_loss <= 1:
+            raise ValueError("pressure_loss must be in [0, 1]")
         if congestion_rate <= 0:
             raise ValueError("congestion_rate must be positive")
         self.rng = rng
         self.base_loss = base_loss
         self.congestion_loss = congestion_loss
         self.congestion_rate = congestion_rate
+        self.receiver_queue = receiver_queue
+        self.pressure_loss = pressure_loss
         self.sent = 0
         self.dropped = 0
+        self.dropped_pressure = 0
         self._window: Deque[float] = deque()
 
     def _loss_probability(self, timestamp: float) -> float:
@@ -74,14 +92,38 @@ class UdpSyslogChannel:
         utilization = min(1.0, rate / self.congestion_rate)
         return self.base_loss + utilization * self.congestion_loss
 
+    def _pressure_probability(self) -> float:
+        """Extra drop probability from a backed-up receiver buffer: zero
+        up to the high watermark, rising linearly to ``pressure_loss`` at
+        a completely full queue."""
+        q = self.receiver_queue
+        if q is None:
+            return 0.0
+        high = q.watermarks.high
+        headroom = q.capacity - high
+        if headroom <= 0:
+            return self.pressure_loss if len(q) >= high else 0.0
+        over = len(q) - high
+        if over <= 0:
+            return 0.0
+        return self.pressure_loss * min(1.0, over / headroom)
+
     def transmit(self, records: Iterable[LogRecord]) -> Iterator[LogRecord]:
         """Yield the records that survive the channel."""
         for record in records:
             self.sent += 1
             self._window.append(record.timestamp)
-            p = self._loss_probability(record.timestamp)
-            if self.rng.random() < p:
+            p_wire = self._loss_probability(record.timestamp)
+            p_recv = self._pressure_probability()
+            # One draw decides both: below p_wire is a network drop, in
+            # the next p_recv-wide band a receiver-buffer overflow drop.
+            u = self.rng.random()
+            if u < p_wire:
                 self.dropped += 1
+                continue
+            if u < min(1.0, p_wire + p_recv):
+                self.dropped += 1
+                self.dropped_pressure += 1
                 continue
             yield record
 

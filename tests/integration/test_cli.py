@@ -122,3 +122,20 @@ class TestAnalyzeQuarantine:
 def test_unknown_system_rejected():
     with pytest.raises(SystemExit):
         main(["generate", "asci-red", "--out", "/tmp/x.log"])
+
+
+class TestStudyBounded:
+    def test_bounded_study_reports_shedding(self, capsys):
+        code = main([
+            "study", "--scale", "1e-5", "--seed", "3",
+            "--max-buffer", "128", "--shed-policy", "priority",
+            "--overload-degrade",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Table 6." in captured.out
+        assert "shed:" in captured.err
+
+    def test_unknown_shed_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["study", "--max-buffer", "128", "--shed-policy", "yolo"])

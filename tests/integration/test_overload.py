@@ -1,0 +1,192 @@
+"""Bounded-memory overload behavior: the acceptance tests for
+backpressure, priority-aware shedding, and graceful degradation.
+
+The contract under test (ISSUE: robustness): a 10x burst workload with a
+bounded buffer completes with bounded peak queue occupancy, zero
+silently-dropped tagged alerts (every shed alert appears in dead-letter
+or spill accounting), and overload metrics surfaced in
+``PipelineResult.summary()``.
+"""
+
+import pytest
+
+from repro import pipeline
+from repro.resilience.backpressure import BackpressureConfig
+from repro.resilience.deadletter import REASON_SHED_OVERLOAD
+from repro.resilience.faults import FaultConfig
+from repro.resilience.shedding import (
+    CLASS_ALERT,
+    CLASS_CHATTER,
+    CLASS_DUPLICATE,
+)
+from repro.resilience.supervisor import PipelineSupervisor
+
+from ..conftest import SEED, SMALL_SCALE
+
+SYSTEM = "liberty"
+
+
+@pytest.fixture(scope="module")
+def unbounded():
+    return pipeline.run_system(SYSTEM, scale=SMALL_SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def bounded_pausable():
+    """Bounded buffers over a pausable source: flow control, no loss."""
+    return pipeline.run_system(
+        SYSTEM, scale=SMALL_SCALE, seed=SEED,
+        backpressure=BackpressureConfig(max_buffer=256, filter_buffer=64),
+    )
+
+
+@pytest.fixture(scope="module")
+def burst():
+    """ACCEPTANCE workload: arrivals outpace service 10x and the source
+    cannot be paused, over a small bounded buffer."""
+    return pipeline.run_system(
+        SYSTEM, scale=SMALL_SCALE, seed=SEED,
+        backpressure=BackpressureConfig.burst(
+            factor=10.0, service_batch=32, max_buffer=256, filter_buffer=64,
+        ),
+    )
+
+
+class TestPausableSource:
+    def test_flow_control_is_lossless(self, unbounded, bounded_pausable):
+        """Credit-based backpressure slows the source instead of losing
+        anything: the bounded run is equivalent to the unbounded one."""
+        assert bounded_pausable.message_count == unbounded.message_count
+        assert bounded_pausable.raw_alert_count == unbounded.raw_alert_count
+        assert bounded_pausable.filtered_alerts == unbounded.filtered_alerts
+        assert bounded_pausable.stats.messages == unbounded.stats.messages
+        report = bounded_pausable.overload
+        assert report.total_shed == 0
+        assert report.total_spilled == 0
+
+    def test_occupancy_stays_below_high_watermark(self, bounded_pausable):
+        report = bounded_pausable.overload
+        for name, peak in report.queue_peaks.items():
+            assert peak <= report.queue_capacities[name]
+
+
+class TestBurstWorkload:
+    def test_completes_with_bounded_peak_occupancy(self, burst):
+        report = burst.overload
+        assert report.queue_peaks  # both stage queues attached
+        for name, peak in report.queue_peaks.items():
+            assert 0 < report.queue_capacities[name] <= 256
+            assert peak <= report.queue_capacities[name], name
+
+    def test_no_tagged_alert_is_silently_dropped(self, burst):
+        """Fresh tagged alerts are never shed; every spilled record is in
+        the dead-letter queue under the shed-overload reason."""
+        report = burst.overload
+        assert CLASS_ALERT not in report.shed_by_class
+        assert set(report.shed_by_class) <= {CLASS_CHATTER, CLASS_DUPLICATE}
+        spilled_in_dlq = burst.dead_letters.by_reason.get(
+            REASON_SHED_OVERLOAD, 0
+        )
+        assert report.total_spilled == spilled_in_dlq > 0
+
+    def test_record_conservation(self, burst, unbounded):
+        """Every generated record is admitted, shed (counted by class),
+        or spilled (dead-lettered) — loss is exact, never silent."""
+        report = burst.overload
+        assert (
+            burst.message_count + report.total_shed + report.total_spilled
+            == unbounded.message_count
+        )
+
+    def test_alert_conservation(self, burst, unbounded):
+        """Every alert the unbounded run tags is, in the burst run,
+        either processed, shed as an in-window duplicate, or spilled."""
+        report = burst.overload
+        accounted = (
+            burst.raw_alert_count
+            + report.shed_by_class.get(CLASS_DUPLICATE, 0)
+            + report.total_spilled
+        )
+        assert accounted == unbounded.raw_alert_count
+
+    def test_filtered_alerts_within_tolerance(self, burst, unbounded):
+        """Shedding suppresses, never invents: the burst run's filtered
+        alerts are a subset-sized, non-empty fraction of the unbounded
+        run's, and everything missing is in the loss accounting."""
+        assert 0 < len(burst.filtered_alerts) <= len(unbounded.filtered_alerts)
+
+    def test_overload_metrics_in_summary(self, burst):
+        text = burst.summary()
+        assert "queues (peak)" in text
+        assert "shed:" in text
+        assert "spilled:" in text
+        assert "overload samples:" in text
+
+
+class TestDegradedMode:
+    def test_sustained_overload_triggers_degradation(self, unbounded):
+        config = BackpressureConfig.burst(
+            factor=10.0, service_batch=32, max_buffer=256, filter_buffer=64,
+            degrade=True, sustain=4,
+        )
+        result = pipeline.run_system(
+            SYSTEM, scale=SMALL_SCALE, seed=SEED, backpressure=config,
+        )
+        report = result.overload
+        assert report.sustained_overload
+        assert report.degraded
+        assert any("degraded" in event for event in report.events)
+        assert "degraded (load)" in result.summary()
+        # Coarse stats: counts stay exact, compression measurement stops.
+        assert result.stats.messages == result.message_count
+        assert result.stats.compressed_bytes < unbounded.stats.compressed_bytes
+
+    def test_without_degrade_flag_no_degradation(self, burst):
+        assert burst.overload.sustained_overload
+        assert not burst.overload.degraded
+
+
+class TestSupervisedOverload:
+    def test_budget_exhaustion_under_burst_degrades_cleanly(self):
+        """Combined fault injection AND sustained overload: the restart
+        budget runs out while queues sit at the high watermark.  The
+        supervisor must hand back a flagged partial carrying the overload
+        report — never an exception, never an unbounded queue."""
+        config = BackpressureConfig.burst(
+            factor=10.0, service_batch=32, max_buffer=128, filter_buffer=32,
+        )
+        supervisor = PipelineSupervisor(restart_budget=1, checkpoint_every=50)
+        result = supervisor.run_system(
+            SYSTEM, scale=SMALL_SCALE, seed=SEED,
+            faults=FaultConfig(seed=1, crash_rate=0.05),
+            backpressure=config,
+        )
+        assert result.degraded
+        assert result.restarts == 1
+        assert len(result.failure_log) == 2  # every attempt crashed
+        report = result.overload
+        assert report is not None
+        for name, peak in report.queue_peaks.items():
+            assert peak <= report.queue_capacities[name], name
+        # The shared accounting covered all attempts, and the degraded
+        # summary still surfaces the overload picture.
+        assert "queues (peak)" in result.summary()
+
+    def test_supervised_burst_recovers_with_overload_report(self):
+        """A survivable crash under burst load: the restarted attempt
+        completes bounded, and the report covers the whole run."""
+        config = BackpressureConfig.burst(
+            factor=10.0, service_batch=32, max_buffer=256, filter_buffer=64,
+        )
+        supervisor = PipelineSupervisor(restart_budget=3, checkpoint_every=100)
+        result = supervisor.run_system(
+            SYSTEM, scale=SMALL_SCALE, seed=SEED,
+            faults=FaultConfig.crash_only(at=500, seed=SEED),
+            backpressure=config,
+        )
+        assert not result.degraded
+        assert result.restarts == 1
+        report = result.overload
+        assert report.total_shed > 0  # burst shedding happened
+        for name, peak in report.queue_peaks.items():
+            assert peak <= report.queue_capacities[name], name

@@ -127,3 +127,59 @@ class TestStatsCollector:
         assert stats.span_seconds == 0.0
         assert stats.rate_bytes_per_second == 0.0
         assert stats.compression_ratio == 1.0
+
+
+class TestReaderHandleLifetime:
+    """Regression: the old generator-based reader leaked its file handle
+    when a consumer stopped early — closure waited on the GC."""
+
+    def _write_log(self, tmp_path):
+        gen = generate_log("liberty", scale=SCALE, seed=SEED, corruption=0.0)
+        path = tmp_path / "liberty.log"
+        write_log(gen.records, path, "liberty")
+        return path
+
+    def test_handle_closes_on_exhaustion(self, tmp_path):
+        path = self._write_log(tmp_path)
+        reader = read_log(path, "liberty")
+        for _ in reader:
+            pass
+        assert reader.closed
+
+    def test_early_break_then_close_releases_handle(self, tmp_path):
+        path = self._write_log(tmp_path)
+        reader = read_log(path, "liberty")
+        for k, _ in enumerate(reader):
+            if k == 3:
+                break
+        assert not reader.closed  # break alone does not exhaust
+        reader.close()
+        assert reader.closed
+        with pytest.raises(StopIteration):
+            next(reader)
+
+    def test_context_manager_closes_on_early_exit(self, tmp_path):
+        path = self._write_log(tmp_path)
+        with read_log(path, "liberty") as reader:
+            next(reader)
+        assert reader.closed
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = self._write_log(tmp_path)
+        reader = read_log(path, "liberty")
+        reader.close()
+        reader.close()
+        assert reader.closed
+
+    def test_read_ahead_preserves_stream_and_closes(self, tmp_path):
+        path = self._write_log(tmp_path)
+        plain = [r.full_text() for r in read_log(path, "liberty")]
+        reader = read_log(path, "liberty", read_ahead=16)
+        ahead = [r.full_text() for r in reader]
+        assert ahead == plain
+        assert reader.closed
+
+    def test_invalid_read_ahead(self, tmp_path):
+        path = self._write_log(tmp_path)
+        with pytest.raises(ValueError):
+            read_log(path, "liberty", read_ahead=-1)

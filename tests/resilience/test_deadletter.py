@@ -79,3 +79,43 @@ class TestSnapshot:
             dlq.restore(snap)
         assert dlq.quarantined == 1
         assert dlq.by_reason == {"keep": 1}
+
+
+class TestEvictionAccounting:
+    def test_evictions_counted_per_reason(self):
+        dlq = DeadLetterQueue(capacity=3)
+        for k in range(3):
+            dlq.put(_record(t=float(k)), "first-wave")
+        for k in range(2):
+            dlq.put(_record(t=float(10 + k)), "second-wave")
+        # The two oldest first-wave letters were pushed out, by reason.
+        assert dlq.evicted == 2
+        assert dlq.evicted_counts == {"first-wave": 2}
+        dlq.put(_record(t=20.0), "third-wave")
+        assert dlq.evicted_counts == {"first-wave": 3}
+
+    def test_eviction_counts_survive_snapshot_round_trip(self):
+        dlq = DeadLetterQueue(capacity=2)
+        for k in range(5):
+            dlq.put(_record(t=float(k)), "noise")
+        snap = dlq.snapshot()
+        assert dict(snap.evicted_counts) == {"noise": 3}
+        fresh = DeadLetterQueue(capacity=2)
+        fresh.restore(snap)
+        assert fresh.evicted == 3
+        assert fresh.evicted_counts == {"noise": 3}
+        fresh.restore(None)
+        assert fresh.evicted_counts == {}
+
+    def test_summary_reports_evictions(self):
+        dlq = DeadLetterQueue(capacity=1)
+        dlq.put(_record(), "a-reason")
+        dlq.put(_record(), "b-reason")
+        text = dlq.summary()
+        assert "2 quarantined" in text
+        assert "1 letters evicted (a-reason: 1)" in text
+
+    def test_no_eviction_line_when_nothing_evicted(self):
+        dlq = DeadLetterQueue()
+        dlq.put(_record(), "x")
+        assert "evicted" not in dlq.summary()

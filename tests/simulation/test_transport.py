@@ -118,3 +118,53 @@ class TestJtag:
     def test_invalid_poll_period(self):
         with pytest.raises(ValueError):
             JtagMailbox(poll_period=0)
+
+
+class TestReceiverPressure:
+    def _full_queue(self, capacity=10):
+        from repro.resilience.backpressure import BoundedQueue
+
+        queue = BoundedQueue("recv", capacity=capacity)
+        for k in range(capacity):
+            queue.put(k)
+        return queue
+
+    def test_backed_up_receiver_raises_loss(self):
+        rng = np.random.default_rng(3)
+        channel = UdpSyslogChannel(
+            rng, base_loss=0.0, congestion_loss=0.0,
+            receiver_queue=self._full_queue(), pressure_loss=1.0,
+        )
+        delivered = list(channel.transmit(_records([1.0, 2.0, 3.0])))
+        assert delivered == []
+        assert channel.dropped == channel.dropped_pressure == 3
+
+    def test_empty_receiver_adds_no_loss(self):
+        from repro.resilience.backpressure import BoundedQueue
+
+        rng = np.random.default_rng(3)
+        channel = UdpSyslogChannel(
+            rng, base_loss=0.0, congestion_loss=0.0,
+            receiver_queue=BoundedQueue("recv", capacity=10),
+            pressure_loss=1.0,
+        )
+        delivered = list(channel.transmit(_records([1.0, 2.0, 3.0])))
+        assert len(delivered) == 3
+        assert channel.dropped_pressure == 0
+
+    def test_pressure_drops_counted_separately_from_wire_drops(self):
+        rng = np.random.default_rng(5)
+        channel = UdpSyslogChannel(
+            rng, base_loss=0.5, congestion_loss=0.0,
+            receiver_queue=self._full_queue(), pressure_loss=0.5,
+        )
+        list(channel.transmit(_records(np.arange(0, 200, 1.0))))
+        wire_drops = channel.dropped - channel.dropped_pressure
+        assert wire_drops > 0
+        assert channel.dropped_pressure > 0
+        assert channel.dropped <= channel.sent
+
+    def test_invalid_pressure_loss(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            UdpSyslogChannel(rng, pressure_loss=1.5)
