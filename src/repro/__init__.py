@@ -33,6 +33,7 @@ from . import (
     core,
     logio,
     logmodel,
+    parallel,
     pipeline,
     prediction,
     reporting,
@@ -46,6 +47,7 @@ __all__ = [
     "core",
     "logio",
     "logmodel",
+    "parallel",
     "pipeline",
     "prediction",
     "reporting",

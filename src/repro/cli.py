@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from . import pipeline
 from .analysis.patterns import mine_templates, suggest_rules, template_coverage
+from .parallel.config import ParallelConfig
 from .logio.reader import read_log
 from .logio.writer import write_log
 from .logmodel.anonymize import Pseudonymizer
@@ -49,12 +50,29 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parallel_config(args: argparse.Namespace) -> "ParallelConfig | None":
+    """The ParallelConfig implied by --workers/--batch-size, if any."""
+    if not args.workers:
+        return None
+    return ParallelConfig(workers=args.workers, batch_size=args.batch_size)
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=0,
+                        help="shard tagging across this many worker "
+                             "processes (0 = serial); the filter stays "
+                             "sequential and output is identical")
+    parser.add_argument("--batch-size", type=int, default=1024,
+                        help="records per batch shipped to a worker")
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     records = read_log(args.path, args.system, year=args.year)
     dead_letters = DeadLetterQueue() if args.quarantine else None
     result = pipeline.run_stream(records, args.system,
                                  threshold=args.threshold,
-                                 dead_letters=dead_letters)
+                                 dead_letters=dead_letters,
+                                 parallel=_parallel_config(args))
     if dead_letters is not None and dead_letters.quarantined:
         print(f"# quarantined: {dead_letters.summary()}", file=sys.stderr)
     if args.full:
@@ -90,6 +108,12 @@ def cmd_study(args: argparse.Namespace) -> int:
             shed_policy=args.shed_policy,
             degrade=args.overload_degrade,
         )
+    parallel = _parallel_config(args)
+    if parallel is not None and (faults is not None or backpressure is not None):
+        print("error: --workers does not combine with --faults or "
+              "--max-buffer (sharded runs carry their own worker-crash "
+              "retry path)", file=sys.stderr)
+        return 2
     results = {}
     for system in SYSTEM_CHOICES:
         scale = args.scale * (100 if system == "bgl" else 1)
@@ -98,6 +122,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             restart_budget=args.restart_budget,
             checkpoint_every=args.checkpoint_every,
             backpressure=backpressure,
+            parallel=parallel,
         )
         results[system] = result
         line = (f"# {system}: {result.message_count:,} messages, "
@@ -111,6 +136,13 @@ def cmd_study(args: argparse.Namespace) -> int:
             line += (f" [shed: {acct.total_shed}, "
                      f"spilled: {acct.total_spilled}"
                      f"{', OVERLOAD-DEGRADED' if acct.degraded else ''}]")
+        if result.shard_stats is not None:
+            shards = result.shard_stats
+            line += (f" [workers: {shards.workers}, "
+                     f"batches: {shards.batches}"
+                     + (f", crashes: {shards.worker_crashes}, "
+                        f"retried: {shards.batches_retried}"
+                        if shards.worker_crashes else "") + "]")
         print(line, file=sys.stderr)
     print(tables.all_tables(results))
     return 0
@@ -183,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--quarantine", action="store_true",
                            help="dead-letter unprocessable records instead "
                                 "of failing on them, and report the counts")
+    _add_parallel_args(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_study = sub.add_parser(
@@ -212,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="on sustained overload, degrade gracefully: "
                               "coarser stats and a larger filter threshold "
                               "instead of unbounded queue growth")
+    _add_parallel_args(p_study)
     p_study.set_defaults(func=cmd_study)
 
     p_anon = sub.add_parser(

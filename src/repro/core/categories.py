@@ -81,6 +81,10 @@ class CategoryDef:
         Callable ``(rng) -> str`` producing a concrete message body; falls
         back to ``example`` when not given.  Excluded from equality so
         category definitions compare by identity-relevant fields only.
+    flags:
+        ``re`` flags (e.g. ``re.IGNORECASE``) applied when compiling
+        ``pattern``.  The tagger's combined prefilter must preserve these
+        per-rule — see ``repro.core.tagging.scoped_pattern``.
     """
 
     name: str
@@ -92,10 +96,11 @@ class CategoryDef:
     channel: Channel = Channel.SYSLOG_UDP
     example: str = ""
     body_factory: Optional[BodyFactory] = field(default=None, compare=False)
+    flags: int = 0
 
     def compiled(self) -> Pattern[str]:
         """The compiled regex (compiled fresh; rulesets cache these)."""
-        return re.compile(self.pattern)
+        return re.compile(self.pattern, self.flags)
 
     def make_body(self, rng=None) -> str:
         """A concrete message body for this category."""

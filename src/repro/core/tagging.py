@@ -17,10 +17,52 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Pattern, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Pattern, Sequence, Tuple
 
 from ..logmodel.record import LogRecord
 from .categories import Alert, CategoryDef, Ruleset
+
+#: Global inline-flag groups a pattern may open with, e.g. ``(?i)``.
+_GLOBAL_FLAG_GROUP = re.compile(r"\(\?([aiLmsux]+)\)")
+
+#: Flags expressible as scoped inline-flag letters (``(?i:...)``).
+#: ``re.L`` needs a bytes pattern and ``re.U`` is the str default, so
+#: neither can reach a str-pattern ruleset; both are dropped if present.
+_FLAG_LETTERS = (
+    (re.ASCII, "a"),
+    (re.IGNORECASE, "i"),
+    (re.MULTILINE, "m"),
+    (re.DOTALL, "s"),
+    (re.VERBOSE, "x"),
+)
+
+
+def scoped_pattern(category: CategoryDef) -> str:
+    """The category's pattern as a self-contained alternation branch.
+
+    Joining raw patterns with ``|`` loses per-rule flags: ``(?i)`` inside
+    a branch is a *global* flag (an error since Python 3.11, silently
+    applied to every branch before that), and ``CategoryDef.flags`` never
+    reached the combined regex at all.  Scoped inline-flag groups
+    (``(?i:...)``) carry each rule's flags without leaking them to the
+    other branches.
+    """
+    pattern = category.pattern
+    flags = category.flags
+    while True:  # lift leading global flag groups, e.g. "(?i)foo"
+        head = _GLOBAL_FLAG_GROUP.match(pattern)
+        if head is None:
+            break
+        for flag, letter in _FLAG_LETTERS:
+            if letter in head.group(1):
+                flags |= flag
+        pattern = pattern[head.end():]
+    letters = "".join(
+        letter for flag, letter in _FLAG_LETTERS if flags & flag
+    )
+    if letters:
+        return f"(?{letters}:{pattern})"
+    return f"(?:{pattern})"
 
 
 class Tagger:
@@ -50,7 +92,7 @@ class Tagger:
         self._prefilter: Optional[Pattern[str]] = None
         if self._compiled:
             self._prefilter = re.compile(
-                "|".join(f"(?:{cat.pattern})" for cat in ruleset)
+                "|".join(scoped_pattern(cat) for cat in ruleset)
             )
 
     def match(self, record: LogRecord) -> Optional[CategoryDef]:
@@ -112,6 +154,75 @@ class Tagger:
             if alert is not None:
                 stats["alerts"] += 1
                 yield alert
+
+    def tag_batch(self, records: Sequence[LogRecord]) -> "BatchOutcome":
+        """Tag one batch, returning a compact, picklable outcome.
+
+        This is the unit of work the parallel execution layer ships to
+        worker processes (:mod:`repro.parallel`), and also the serial
+        fallback a crashed batch is retried through, so serial and
+        parallel tagging share one code path.  The outcome records only
+        the *hits* (almost every record in a real log matches no rule)
+        and the per-record failures, exactly mirroring
+        :meth:`tag_stream`'s quarantine semantics.
+        """
+        hits: List[Tuple[int, Alert]] = []
+        errors: List[Tuple[int, str]] = []
+        for index, record in enumerate(records):
+            try:
+                alert = self.tag(record)
+            except Exception as exc:
+                errors.append((index, repr(exc)))
+                continue
+            if alert is not None:
+                hits.append((index, alert))
+        return BatchOutcome(size=len(records), hits=tuple(hits),
+                            errors=tuple(errors))
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """The result of tagging one record batch.
+
+    ``hits`` holds ``(index_within_batch, alert)`` pairs for the records
+    a rule matched; ``errors`` holds ``(index, repr(exception))`` for the
+    records that crashed the rules engine.  Every other index in
+    ``range(size)`` matched no rule.  All fields pickle cheaply — the
+    whole point: a million-record batch of chatter returns as a few
+    hundred bytes instead of a million ``None``\\ s.
+    """
+
+    size: int
+    hits: Tuple[Tuple[int, Alert], ...] = ()
+    errors: Tuple[Tuple[int, str], ...] = ()
+
+    def hit_map(self) -> Dict[int, Alert]:
+        return dict(self.hits)
+
+    def error_map(self) -> Dict[int, str]:
+        return dict(self.errors)
+
+
+@dataclass(frozen=True)
+class RulesetHandle:
+    """A picklable reference to a named system's ruleset.
+
+    Compiled patterns and the ``body_factory`` callables inside
+    :class:`CategoryDef` do not pickle, so worker processes receive this
+    handle instead and compile the ruleset once per process
+    (:func:`resolve` / :func:`tagger`).  Only the registered system
+    rulesets can travel this way; ad-hoc rulesets stay in-process.
+    """
+
+    system: str
+
+    def resolve(self) -> Ruleset:
+        from .rules import get_ruleset
+
+        return get_ruleset(self.system)
+
+    def tagger(self) -> Tagger:
+        return Tagger(self.resolve())
 
 
 @dataclass(frozen=True)

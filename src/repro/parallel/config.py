@@ -1,0 +1,96 @@
+"""Configuration for the parallel sharded-tagging execution layer.
+
+One frozen object describes how a run fans tagging out to worker
+processes: how many workers, how many records per shipped batch, how many
+batches may be in flight at once (the memory bound), which
+multiprocessing start method to use, and how a crashed worker's batch is
+handled.  It travels through :func:`repro.pipeline.run_stream` and the
+CLI (``study --workers/--batch-size``) the same way
+:class:`~repro.resilience.backpressure.BackpressureConfig` does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, replace
+
+
+def default_workers() -> int:
+    """Worker count when unspecified: one per CPU, minimum two.
+
+    Two is the floor so that ``ParallelConfig()`` exercises genuine
+    inter-process behavior even on a single-core host — there is no
+    speedup to be had there, but the semantics must hold everywhere.
+    """
+    return max(2, os.cpu_count() or 1)
+
+
+def default_mp_context() -> str:
+    """``fork`` where the platform offers it (cheap worker startup, and
+    the rulesets are compiled read-only before forking), else ``spawn``."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to shard tagging across worker processes.
+
+    Attributes
+    ----------
+    workers:
+        Worker process count; ``0`` means :func:`default_workers`.
+    batch_size:
+        Records per batch shipped to a worker.  Larger batches amortize
+        pickling; smaller batches bound the damage of a worker crash and
+        keep the order-preserving merge shallow.
+    max_inflight:
+        Maximum batches submitted but not yet yielded; ``0`` means
+        ``2 * workers``.  This bounds parent-side memory: at most
+        ``max_inflight * batch_size`` records are buffered for the
+        order-preserving merge, no matter how fast the source is.
+    mp_context:
+        Multiprocessing start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``); empty string means :func:`default_mp_context`.
+    retry_failed_batches:
+        When a worker process dies mid-batch, replay the batch **exactly
+        once** through an in-parent serial tagger (the supervisor path).
+        When ``False`` the crash propagates as
+        :class:`~repro.parallel.sharded.WorkerCrashError`.
+    enable_test_faults:
+        Test hook: workers recognize the kill sentinel
+        (:data:`~repro.parallel.sharded.KILL_SENTINEL`) and die mid-batch,
+        so the fault-path suite can exercise real process crashes
+        deterministically.  Never enabled outside tests.
+    """
+
+    workers: int = 0
+    batch_size: int = 1024
+    max_inflight: int = 0
+    mp_context: str = ""
+    retry_failed_batches: bool = True
+    enable_test_faults: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.max_inflight < 0:
+            raise ValueError("max_inflight must be non-negative")
+
+    def resolved_workers(self) -> int:
+        return self.workers if self.workers > 0 else default_workers()
+
+    def resolved_inflight(self) -> int:
+        if self.max_inflight > 0:
+            return max(self.max_inflight, 1)
+        return 2 * self.resolved_workers()
+
+    def resolved_context(self) -> str:
+        return self.mp_context or default_mp_context()
+
+    def with_workers(self, workers: int) -> "ParallelConfig":
+        return replace(self, workers=workers)

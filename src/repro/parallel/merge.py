@@ -1,0 +1,89 @@
+"""Order-preserving reassembly of batches completed out of order.
+
+Workers finish batches in whatever order scheduling allows, but the
+spatio-temporal filter (Algorithm 3.1) demands the original stream order:
+its clear-table semantics are defined over a time-sorted sequence, so the
+merge — not the workers — is what keeps parallel output byte-identical to
+serial output.  :class:`OrderedMerge` accepts ``(index, item)`` pairs in
+any order and releases items strictly by index.
+
+The ready-side buffer reuses
+:class:`~repro.resilience.backpressure.BoundedQueue`, so merge occupancy
+shows up in the same pressure/peak metrics the rest of the pipeline
+reports, and the bound is explicit: a merge window can never exceed the
+in-flight budget the caller declared.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator
+
+from ..resilience.backpressure import BoundedQueue
+
+
+class MergeOrderError(RuntimeError):
+    """An index arrived twice, or arrived after it was already released."""
+
+
+class OrderedMerge:
+    """Reassemble an indexed stream into contiguous submission order.
+
+    Parameters
+    ----------
+    window:
+        Maximum items held (out-of-order arrivals plus ready items not
+        yet drained).  Callers that bound their in-flight submissions by
+        the same number can never overflow the merge.
+    """
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self._held: Dict[int, Any] = {}
+        self._ready: BoundedQueue = BoundedQueue("parallel-merge", window)
+        self.next_index = 0          # next index to become ready
+        self._next_release = 0       # next index to leave drain()
+
+    def __len__(self) -> int:
+        return len(self._held) + len(self._ready)
+
+    @property
+    def pending(self) -> int:
+        """Items held waiting for a predecessor."""
+        return len(self._held)
+
+    @property
+    def peak_occupancy(self) -> int:
+        return self._ready.peak_occupancy
+
+    def add(self, index: int, item: Any) -> None:
+        """Accept one completed item; indexes must be unique."""
+        if index < self.next_index or index in self._held:
+            raise MergeOrderError(f"batch index {index} delivered twice")
+        if len(self) >= self.window:
+            raise MergeOrderError(
+                f"merge window {self.window} exceeded; bound submissions "
+                "by the merge window"
+            )
+        self._held[index] = item
+        while self.next_index in self._held:
+            item = self._held.pop(self.next_index)
+            if not self._ready.put(item):  # unreachable: len() bound above
+                self._held[self.next_index] = item
+                raise MergeOrderError("ready queue refused within window")
+            self.next_index += 1
+
+    def drain(self) -> Iterator[Any]:
+        """Yield every item that is ready (contiguous from the front)."""
+        while self._ready:
+            self._next_release += 1
+            yield self._ready.get()
+
+    def assert_empty(self) -> None:
+        """Raise if anything is still buffered (a lost batch)."""
+        if self._held or self._ready:
+            raise MergeOrderError(
+                f"merge finished with {len(self)} undelivered item(s); "
+                f"waiting on index {self.next_index}"
+            )

@@ -70,6 +70,8 @@ from .resilience.deadletter import (
     REASON_TAGGER_ERROR,
 )
 from .resilience.shedding import ShedAccounting, get_shed_policy
+from .parallel.config import ParallelConfig
+from .parallel.sharded import ShardStats, ShardedTagger, TaggerErrorReplay, chunked
 from .simulation.generator import GeneratedLog, LogGenerator
 
 #: How far back an alert timestamp may run (collector fan-in jitter,
@@ -96,6 +98,7 @@ class PipelineResult:
     restarts: int = 0
     failure_log: List[str] = field(default_factory=list)
     overload: Optional[OverloadReport] = None
+    shard_stats: Optional[ShardStats] = None
 
     @property
     def message_count(self) -> int:
@@ -140,6 +143,8 @@ class PipelineResult:
             lines.append(f"dead letters:      {self.dead_letters.summary()}")
         if self.overload is not None:
             lines.extend(self.overload.summary_lines())
+        if self.shard_stats is not None:
+            lines.append(self.shard_stats.summary_line())
         if self.restarts:
             lines.append(f"restarts:          {self.restarts}")
         if self.degraded:
@@ -208,6 +213,7 @@ def run_stream(
     resume_from: Optional[PipelineCheckpoint] = None,
     reorder_tolerance: float = DEFAULT_REORDER_TOLERANCE,
     backpressure: Optional[BackpressureConfig] = None,
+    parallel: Optional[ParallelConfig] = None,
 ) -> PipelineResult:
     """Run the measurement/tag/filter pipeline over any record stream.
 
@@ -230,7 +236,33 @@ def run_stream(
     behind bounded queues with credit-based flow control and
     priority-aware load shedding — see :func:`_run_bounded` — and the
     result carries an :class:`OverloadReport`.
+
+    With ``parallel`` (a :class:`ParallelConfig`), tagging fans out to
+    worker processes — see :func:`_run_parallel` — while stats, severity,
+    and the spatio-temporal filter stay the single sequential consumer of
+    the order-preserved merge, so the result is identical to a serial
+    run (the differential suite in ``tests/parallel/`` enforces this).
+    ``parallel`` does not compose with ``backpressure`` or with
+    checkpoint/resume: sharded runs have their own worker-crash retry
+    path, and bounded ticks assume an in-process tag stage.
     """
+    if parallel is not None:
+        if backpressure is not None:
+            raise ValueError(
+                "parallel does not compose with backpressure: bounded "
+                "ticks drive an in-process tag stage"
+            )
+        if checkpointer is not None or resume_from is not None:
+            raise ValueError(
+                "parallel does not compose with checkpoint/resume; "
+                "crashed workers are retried by the shard supervisor "
+                "instead"
+            )
+        return _run_parallel(
+            records, system, threshold=threshold, generated=generated,
+            dead_letters=dead_letters, reorder_tolerance=reorder_tolerance,
+            config=parallel,
+        )
     if backpressure is not None:
         return _run_bounded(
             records, system, threshold=threshold, generated=generated,
@@ -315,6 +347,99 @@ def run_stream(
         generated=generated,
         threshold=threshold,
         dead_letters=dead_letters,
+    )
+
+
+def _run_parallel(
+    records: Iterable[LogRecord],
+    system: str,
+    threshold: float,
+    generated: Optional[GeneratedLog],
+    dead_letters: Optional[DeadLetterQueue],
+    reorder_tolerance: float,
+    config: ParallelConfig,
+) -> PipelineResult:
+    """The sharded-tagging form of :func:`run_stream`.
+
+    Only the tagger — the hot path, where almost every record matches no
+    rule — runs in worker processes.  Everything whose semantics are
+    order-defined stays in the parent, consuming batches in original
+    stream order from the order-preserving merge: Table 2 stats, the
+    severity cross-tab, and above all the spatio-temporal filter, whose
+    Algorithm 3.1 clear-table state is meaningful only over the
+    time-sorted sequence (sharding the *filter* is what Liang et al. do
+    per node partition; sharding the *tagger* under a sequential filter
+    keeps our Algorithm 3.1 semantics untouched).
+
+    Per-record semantics mirror the serial loop exactly: structurally
+    invalid records are quarantined before they are observed, records
+    that crash the rules engine skip the severity tab, and out-of-order
+    alerts quarantine or raise by the same rule.  Without a dead-letter
+    queue, a worker-side tagger error re-raises in the parent as
+    :class:`~repro.parallel.sharded.TaggerErrorReplay` (the original
+    exception object cannot cross the process boundary).
+    """
+    (stats_collector, stf, report, severity_tab, raw_alerts,
+     filtered_alerts, corrupted, consumed) = _restore_or_init(
+        system, threshold, None, dead_letters, reorder_tolerance
+    )
+    source = iter(records)
+
+    def admitted(stream: Iterable[LogRecord]):
+        nonlocal consumed
+        for record in stream:
+            consumed += 1
+            if dead_letters is not None and not _valid_record(record):
+                dead_letters.put(record, REASON_INVALID_RECORD)
+                continue
+            yield record
+
+    with ShardedTagger(system, config) as sharded:
+        batches = chunked(admitted(source), config.batch_size)
+        for batch, outcome in sharded.tag_batches(batches):
+            errors = outcome.error_map()
+            hits = outcome.hit_map()
+            for index, record in enumerate(batch):
+                stats_collector.observe_record(record)
+                if record.corrupted:
+                    corrupted += 1
+                if index in errors:
+                    if dead_letters is None:
+                        raise TaggerErrorReplay(errors[index])
+                    dead_letters.put(
+                        record, REASON_TAGGER_ERROR, errors[index]
+                    )
+                    continue
+                alert = hits.get(index)
+                severity_tab.add(record, alert is not None)
+                if alert is None:
+                    continue
+                try:
+                    kept: Optional[bool] = stf.offer(alert)
+                except OutOfOrderError as exc:
+                    if dead_letters is None:
+                        raise
+                    dead_letters.put(record, REASON_OUT_OF_ORDER, str(exc))
+                    kept = None
+                if kept is not None:
+                    raw_alerts.append(alert)
+                    report.record(alert, kept)
+                    if kept:
+                        filtered_alerts.append(alert)
+        shard_stats = sharded.stats
+
+    return PipelineResult(
+        system=system,
+        stats=stats_collector.finish(),
+        raw_alerts=raw_alerts,
+        filtered_alerts=filtered_alerts,
+        filter_report=report,
+        severity_tab=severity_tab,
+        corrupted_messages=corrupted,
+        generated=generated,
+        threshold=threshold,
+        dead_letters=dead_letters,
+        shard_stats=shard_stats,
     )
 
 
@@ -503,6 +628,7 @@ def run_system(
     restart_budget: int = 3,
     checkpoint_every: int = 2000,
     backpressure: Optional[BackpressureConfig] = None,
+    parallel: Optional[ParallelConfig] = None,
     **generator_kwargs,
 ) -> PipelineResult:
     """Generate one machine's log and run the full pipeline over it.
@@ -516,7 +642,17 @@ def run_system(
     Pass ``backpressure`` (a :class:`BackpressureConfig`) to run with
     bounded inter-stage queues and priority-aware load shedding; the two
     compose — a supervised run can also be bounded.
+
+    Pass ``parallel`` (a :class:`ParallelConfig`) to shard tagging across
+    worker processes with byte-identical output; it does not compose with
+    supervision, backpressure, or checkpointing (sharded runs carry their
+    own worker-crash retry path).
     """
+    if parallel is not None and (faults is not None or supervised):
+        raise ValueError(
+            "parallel does not compose with the checkpoint-based "
+            "supervisor; ShardedTagger retries crashed workers itself"
+        )
     if faults is not None or supervised:
         from .resilience.supervisor import PipelineSupervisor
 
@@ -535,7 +671,7 @@ def run_system(
     generated = generator.generate()
     return run_stream(
         generated.records, system, threshold=threshold, generated=generated,
-        backpressure=backpressure,
+        backpressure=backpressure, parallel=parallel,
     )
 
 
@@ -548,6 +684,7 @@ def run_all(
     restart_budget: int = 3,
     checkpoint_every: int = 2000,
     backpressure: Optional[BackpressureConfig] = None,
+    parallel: Optional[ParallelConfig] = None,
     **generator_kwargs,
 ) -> Dict[str, PipelineResult]:
     """Run the pipeline for all five machines (Table 2's full study).
@@ -556,7 +693,8 @@ def run_all(
     every system completes — possibly degraded, never raising — and each
     result carries its dead-letter and restart accounting.  With
     ``backpressure``, every system runs bounded; each gets its own queues
-    and accounting.
+    and accounting.  With ``parallel``, every system's tagging is sharded
+    across worker processes (each system gets its own pool).
     """
     from .systems.specs import SYSTEMS
 
@@ -565,7 +703,7 @@ def run_all(
             name, scale=scale, seed=seed, threshold=threshold,
             faults=faults, supervised=supervised,
             restart_budget=restart_budget, checkpoint_every=checkpoint_every,
-            backpressure=backpressure, **generator_kwargs,
+            backpressure=backpressure, parallel=parallel, **generator_kwargs,
         )
         for name in SYSTEMS
     }

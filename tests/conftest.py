@@ -6,6 +6,8 @@ keeps the suite fast — the big systems are only generated once.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,16 @@ SMALL_SCALE = 2e-5
 MEDIUM_SCALE = 1e-3
 
 SEED = 20070625  # DSN 2007 conference date
+
+#: Worker count for parallel-path tests.  The CI matrix job widens this
+#: via REPRO_PARALLEL_WORKERS; the default of 2 keeps local runs cheap
+#: while still crossing a real process boundary.
+ENV_WORKERS = int(os.environ.get("REPRO_PARALLEL_WORKERS", "2"))
+
+
+@pytest.fixture(scope="session")
+def env_workers() -> int:
+    return ENV_WORKERS
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,100 @@
+"""Golden regression corpus: frozen end-to-end expectations per system.
+
+Each fixture pair under ``tests/fixtures/golden/`` is a small
+deterministic log in the system's native on-disk format plus the exact
+pipeline output recorded when it was generated (every raw and filtered
+alert, volume stats, severity cross-tab).  Any behavioral drift in the
+parsers, expert rules, or the spatio-temporal filter fails here with a
+diff pointing at the exact alert that moved.  Regenerate — only when the
+change is intended — with ``PYTHONPATH=src python scripts/make_golden.py``
+and commit the new expectations alongside the change that caused them.
+
+The corpus is run through both the serial path and the parallel path so
+a drift confined to the sharded lane cannot hide either.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import pipeline
+from repro.logio.reader import read_log
+from repro.parallel import ParallelConfig
+from repro.systems.specs import SYSTEMS
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "golden"
+ALL_SYSTEMS = sorted(SYSTEMS)
+
+
+def load_expected(system):
+    path = GOLDEN_DIR / f"{system}.expected.json"
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def run_golden(system, parallel=None):
+    expected = load_expected(system)
+    records = read_log(GOLDEN_DIR / f"{system}.log", system,
+                       year=expected["year"])
+    return expected, pipeline.run_stream(records, system, parallel=parallel)
+
+
+def alert_rows(alerts):
+    return [[round(a.timestamp, 6), a.source, a.category,
+             a.alert_type.value] for a in alerts]
+
+
+def assert_matches_expected(expected, result):
+    assert result.stats.messages == expected["messages"]
+    assert result.corrupted_messages == expected["corrupted"]
+    assert result.raw_alert_count == expected["raw_alert_count"]
+    assert result.filtered_alert_count == expected["filtered_alert_count"]
+    assert result.observed_categories == expected["observed_categories"]
+    assert {cat: counts for cat, counts
+            in result.category_counts().items()} == \
+        expected["category_counts"]
+    assert dict(result.severity_tab.messages) == \
+        expected["severity_messages"]
+    assert dict(result.severity_tab.alerts) == expected["severity_alerts"]
+    assert alert_rows(result.raw_alerts) == expected["raw_alerts"]
+    assert alert_rows(result.filtered_alerts) == expected["filtered_alerts"]
+
+
+class TestGoldenCorpus:
+    def test_corpus_is_complete(self):
+        """Every system has both halves of its fixture pair."""
+        for system in ALL_SYSTEMS:
+            assert (GOLDEN_DIR / f"{system}.log").is_file()
+            assert (GOLDEN_DIR / f"{system}.expected.json").is_file()
+
+    def test_corpus_exercises_the_rules(self):
+        """A fixture with no alerts regression-tests nothing: every
+        system's expectations must contain real tagged output."""
+        for system in ALL_SYSTEMS:
+            expected = load_expected(system)
+            assert expected["raw_alert_count"] > 0, system
+            assert expected["filtered_alert_count"] > 0, system
+
+    def test_filter_does_real_work_somewhere(self):
+        """At least one fixture must show raw > filtered, or the corpus
+        would never notice Algorithm 3.1 regressing to a no-op."""
+        assert any(
+            load_expected(s)["raw_alert_count"]
+            > load_expected(s)["filtered_alert_count"]
+            for s in ALL_SYSTEMS
+        )
+
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_serial_output_matches_golden(self, system):
+        expected, result = run_golden(system)
+        assert_matches_expected(expected, result)
+
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_parallel_output_matches_golden(self, system, env_workers):
+        expected, result = run_golden(
+            system,
+            parallel=ParallelConfig(workers=env_workers, batch_size=128),
+        )
+        assert_matches_expected(expected, result)
+        assert result.shard_stats is not None
+        assert result.shard_stats.records == expected["messages"]

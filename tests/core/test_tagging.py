@@ -1,11 +1,15 @@
 """Unit tests for the tagging engine."""
 
+import re
+
 from repro.core.categories import AlertType, CategoryDef, Ruleset
 from repro.core.tagging import (
+    RulesetHandle,
     Tagger,
     count_by_category,
     count_by_type,
     observed_categories,
+    scoped_pattern,
 )
 from repro.logmodel.record import LogRecord
 
@@ -137,6 +141,126 @@ class TestPrefilterEquivalence:
                 assert (fast is None) == (slow is None)
                 if fast is not None:
                     assert fast.name == slow.name
+
+
+class TestPrefilterFlags:
+    """Regression: the combined prefilter must carry per-rule flags.
+
+    Joining raw pattern strings with ``|`` dropped ``CategoryDef.flags``
+    entirely, and a ``(?i)``-prefixed rule in any non-first position is a
+    compile error on Python 3.11+ (global flags mid-expression).
+    """
+
+    def _flagged_ruleset(self):
+        return Ruleset(
+            system="test",
+            categories=(
+                CategoryDef(
+                    name="CASED", system="test",
+                    alert_type=AlertType.HARDWARE,
+                    pattern=r"ECC error", facility="kernel",
+                ),
+                CategoryDef(
+                    name="LOOSE", system="test",
+                    alert_type=AlertType.SOFTWARE,
+                    pattern=r"link failure", facility="kernel",
+                    flags=re.IGNORECASE,
+                ),
+            ),
+        )
+
+    def test_flagged_rule_survives_prefilter(self):
+        tagger = Tagger(self._flagged_ruleset())
+        hit = _record("LINK FAILURE on port 3")
+        # Sanity: the compiled per-rule pattern matches...
+        assert tagger.ruleset.get("LOOSE").compiled().search(hit.full_text())
+        # ...and the prefilter does not silently reject it first.
+        assert tagger.match(hit).name == "LOOSE"
+
+    def test_flags_stay_scoped_to_their_rule(self):
+        tagger = Tagger(self._flagged_ruleset())
+        # The case-sensitive rule must not inherit IGNORECASE from its
+        # neighbor via the combined alternation.
+        assert tagger.match(_record("ecc ERROR")) is None
+        assert tagger.match(_record("ECC error")).name == "CASED"
+
+    def test_inline_global_flag_prefix_compiles_and_scopes(self):
+        """A logsurfer-style ``(?i)``-prefixed pattern in non-first
+        position must neither crash prefilter compilation (Python 3.11+)
+        nor leak case-insensitivity to other rules."""
+        ruleset = Ruleset(
+            system="test",
+            categories=(
+                CategoryDef(
+                    name="STRICT", system="test",
+                    alert_type=AlertType.HARDWARE,
+                    pattern=r"panic", facility="kernel",
+                ),
+                CategoryDef(
+                    name="RELAXED", system="test",
+                    alert_type=AlertType.SOFTWARE,
+                    pattern=r"(?i)fatal error", facility="kernel",
+                ),
+            ),
+        )
+        tagger = Tagger(ruleset)
+        assert tagger.match(_record("FATAL ERROR in ciod")).name == "RELAXED"
+        assert tagger.match(_record("PANIC")) is None
+        assert tagger.match(_record("panic")).name == "STRICT"
+
+    def test_scoped_pattern_shapes(self):
+        plain = CategoryDef(name="A", system="t",
+                            alert_type=AlertType.HARDWARE, pattern=r"x+")
+        flagged = CategoryDef(name="B", system="t",
+                              alert_type=AlertType.HARDWARE, pattern=r"x+",
+                              flags=re.IGNORECASE | re.DOTALL)
+        inlined = CategoryDef(name="C", system="t",
+                              alert_type=AlertType.HARDWARE,
+                              pattern=r"(?im)x+")
+        assert scoped_pattern(plain) == "(?:x+)"
+        assert scoped_pattern(flagged) == "(?is:x+)"
+        assert scoped_pattern(inlined) == "(?im:x+)"
+
+
+class TestBatchAPI:
+    def test_tag_batch_matches_tag_stream(self):
+        tagger = Tagger(_ruleset())
+        records = [
+            _record("quiet"),
+            _record("disk error on sda"),
+            _record("disk error"),
+            _record("nothing"),
+        ]
+        outcome = tagger.tag_batch(records)
+        assert outcome.size == 4
+        assert [i for i, _ in outcome.hits] == [1, 2]
+        assert [a.category for _, a in outcome.hits] == ["SPECIFIC", "GENERAL"]
+        assert outcome.errors == ()
+        assert [a for _, a in outcome.hits] == list(tagger.tag_stream(records))
+
+    def test_tag_batch_captures_per_record_errors(self):
+        tagger = Tagger(_ruleset())
+        records = [
+            _record("disk error"),
+            # Non-string body with no facility prefix reaches the regex
+            # engine raw and crashes the match.
+            _record(12345, facility=""),
+            _record("quiet"),
+        ]
+        outcome = tagger.tag_batch(records)
+        assert outcome.size == 3
+        assert [i for i, _ in outcome.hits] == [0]
+        assert [i for i, _ in outcome.errors] == [1]
+        assert "TypeError" in outcome.error_map()[1]
+
+    def test_ruleset_handle_resolves_and_pickles(self):
+        import pickle
+
+        handle = RulesetHandle("liberty")
+        clone = pickle.loads(pickle.dumps(handle))
+        assert clone == handle
+        tagger = clone.tagger()
+        assert tagger.ruleset.system == "liberty"
 
 
 class TestCounters:

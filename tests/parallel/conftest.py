@@ -1,0 +1,23 @@
+"""Fixtures for the parallel-execution suite.
+
+The shared ``env_workers`` fixture (and the ``REPRO_PARALLEL_WORKERS``
+override the CI matrix job uses) lives in the top-level conftest so the
+golden-corpus tests can exercise the parallel path too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import ParallelConfig, ShardedTagger
+
+from ..conftest import ENV_WORKERS
+
+
+@pytest.fixture(scope="session")
+def liberty_sharded():
+    """One long-lived pool reused across tests/examples: worker startup
+    is the expensive part, and reuse is itself part of the contract."""
+    config = ParallelConfig(workers=ENV_WORKERS, batch_size=64)
+    with ShardedTagger("liberty", config) as sharded:
+        yield sharded
