@@ -21,6 +21,7 @@ from repro import pipeline
 from repro.core.tagging import RulesetHandle
 from repro.logmodel.record import LogRecord
 from repro.parallel import ParallelConfig
+from repro.resilience.backpressure import BackpressureConfig
 
 from _bench_utils import write_artifact
 
@@ -114,3 +115,53 @@ def test_parallel_matches_serial_and_records_trajectory(benchmark):
         "-> benchmarks/output/BENCH_pipeline.json"
     )
     write_artifact("parallel_pipeline.txt", "\n".join(lines) + "\n")
+
+
+def test_engine_driver_matrix_equivalence_and_cost(benchmark):
+    """Every engine driver over the same stream: identical output
+    asserted, per-driver cost recorded.  The bounded rows use roomy
+    buffers and a pausable source so nothing sheds — the measured delta
+    vs serial is the tick pump itself."""
+    records = _synthetic_stream(N_RECORDS)
+    parallel = ParallelConfig(workers=2, batch_size=BATCH_SIZE)
+    bounded = BackpressureConfig(
+        max_buffer=4 * BATCH_SIZE, filter_buffer=BATCH_SIZE,
+        arrival_batch=BATCH_SIZE, service_batch=BATCH_SIZE,
+        filter_batch=BATCH_SIZE,
+    )
+    matrix = {
+        "serial": {},
+        "sharded": {"parallel": parallel},
+        "bounded": {"backpressure": bounded},
+        "bounded-sharded": {"parallel": parallel, "backpressure": bounded},
+    }
+
+    def sweep():
+        timings = []
+        for name, kwargs in matrix.items():
+            t0 = time.perf_counter()
+            result = pipeline.run_stream(records, SYSTEM, **kwargs)
+            timings.append((name, time.perf_counter() - t0, result))
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    baseline = _signature(timings[0][2])
+    for name, _, result in timings[1:]:
+        assert _signature(result) == baseline, name
+
+    serial_secs = timings[0][1]
+    lines = [
+        "Engine driver matrix: identical output, per-driver cost "
+        f"({SYSTEM}, {N_RECORDS:,} records, cpu_count={os.cpu_count()})",
+    ]
+    for name, secs, _ in timings:
+        rps = N_RECORDS / secs
+        lines.append(
+            f"{name:<16}: {rps:12,.0f} rec/s  ({serial_secs / secs:.2f}x)"
+        )
+    lines.append(
+        "full 1M-record matrix: scripts/bench_report.py "
+        "-> benchmarks/output/BENCH_engine.json"
+    )
+    write_artifact("engine_drivers.txt", "\n".join(lines) + "\n")

@@ -31,6 +31,7 @@ __version__ = "1.0.0"
 from . import (
     analysis,
     core,
+    engine,
     logio,
     logmodel,
     parallel,
@@ -45,6 +46,7 @@ from . import (
 __all__ = [
     "analysis",
     "core",
+    "engine",
     "logio",
     "logmodel",
     "parallel",

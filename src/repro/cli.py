@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from . import pipeline
 from .analysis.patterns import mine_templates, suggest_rules, template_coverage
+from .engine.capabilities import capability_lines, validate_run_config
 from .parallel.config import ParallelConfig
 from .logio.reader import read_log
 from .logio.writer import write_log
@@ -109,10 +110,17 @@ def cmd_study(args: argparse.Namespace) -> int:
             degrade=args.overload_degrade,
         )
     parallel = _parallel_config(args)
-    if parallel is not None and (faults is not None or backpressure is not None):
-        print("error: --workers does not combine with --faults or "
-              "--max-buffer (sharded runs carry their own worker-crash "
-              "retry path)", file=sys.stderr)
+    # One authority for what composes: the engine's capability table.
+    # (Historically this was an ad-hoc check that forbade --workers with
+    # --faults/--max-buffer; the stage engine made those pairs legal.)
+    try:
+        validate_run_config(
+            parallel=parallel, backpressure=backpressure, faults=faults,
+            restart_budget=args.restart_budget,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     results = {}
     for system in SYSTEM_CHOICES:
@@ -219,7 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_study = sub.add_parser(
-        "study", help="run all five systems and print Tables 1-6"
+        "study", help="run all five systems and print Tables 1-6",
+        epilog="execution drivers (--workers/--max-buffer compose; see "
+               "repro.engine):\n  " + "\n  ".join(capability_lines()),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p_study.add_argument("--scale", type=float, default=1e-4)
     p_study.add_argument("--seed", type=int, default=2007)
@@ -229,10 +240,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "stalls, reordering, duplication, truncation)")
     p_study.add_argument("--fault-seed", type=int, default=None,
                          help="seed for the fault schedule (default: --seed)")
-    p_study.add_argument("--restart-budget", type=int, default=3,
-                         help="max supervisor restarts per system")
-    p_study.add_argument("--checkpoint-every", type=int, default=2000,
-                         help="checkpoint interval in records")
+    p_study.add_argument("--restart-budget", type=int, default=None,
+                         help="max supervisor restarts per system "
+                              "(requires --faults; default 3)")
+    p_study.add_argument("--checkpoint-every", type=int, default=None,
+                         help="checkpoint interval in records; without "
+                              "--faults the run still snapshots and the "
+                              "result keeps the latest resume point "
+                              "(default under --faults: 2000)")
     p_study.add_argument("--max-buffer", type=int, default=None,
                          help="run bounded: cap the generate->tag queue at "
                               "this many records (backpressure + load "

@@ -1,0 +1,50 @@
+"""The composable stage engine behind :mod:`repro.pipeline`.
+
+One :class:`AlertPath` expresses the per-record semantics of Sections
+3.1-3.3 exactly once — validate -> observe stats -> tag -> severity ->
+filter -> report/dead-letter — and pluggable drivers
+(:class:`SerialDriver`, :class:`ShardedDriver`, :class:`BoundedDriver`)
+decide the execution schedule.  :mod:`repro.engine.capabilities` is the
+single composition table the pipeline and the CLI both validate against.
+"""
+
+from .capabilities import (
+    BYTE_IDENTICAL,
+    CAPABILITY_TABLE,
+    SHED_TOLERANCE,
+    DriverCapabilities,
+    build_driver,
+    capabilities_for,
+    capability_lines,
+    driver_name,
+    validate_run_config,
+)
+from .drivers import BoundedDriver, Driver, DriverReport, SerialDriver, ShardedDriver
+from .path import DEFAULT_REORDER_TOLERANCE, AlertPath
+from .result import PipelineResult
+from .stages import AlertListSink, Sink, Source, SourceFactory, Stage
+
+__all__ = [
+    "AlertListSink",
+    "AlertPath",
+    "BYTE_IDENTICAL",
+    "BoundedDriver",
+    "CAPABILITY_TABLE",
+    "DEFAULT_REORDER_TOLERANCE",
+    "Driver",
+    "DriverCapabilities",
+    "DriverReport",
+    "PipelineResult",
+    "SHED_TOLERANCE",
+    "SerialDriver",
+    "ShardedDriver",
+    "Sink",
+    "Source",
+    "SourceFactory",
+    "Stage",
+    "build_driver",
+    "capabilities_for",
+    "capability_lines",
+    "driver_name",
+    "validate_run_config",
+]

@@ -1,0 +1,157 @@
+"""The single source of truth for what composes with what.
+
+Before the engine, composition rules lived in three places — guard
+clauses in ``run_stream``, guard clauses in ``run_system``, and an
+ad-hoc argument check in the CLI — and they disagreed about wording and
+occasionally about substance.  This module is the one table everything
+consults: :func:`build_driver` picks the execution driver for a knob
+combination, :func:`validate_run_config` rejects the (few) combinations
+that remain meaningless, and :func:`capability_lines` renders the table
+for ``--help`` text and docs.
+
+Every driver now supports checkpoint/resume and dead-letter quarantine;
+the columns that differ are *where* the consistency barrier sits and how
+strong the equivalence-to-serial guarantee is:
+
+========================  =================  ====================
+driver                    barrier            equivalence
+========================  =================  ====================
+serial                    every record       (reference)
+sharded                   batch boundary     byte-identical
+bounded                   drained queues     shedding tolerance
+bounded-sharded           drained queues     shedding tolerance
+========================  =================  ====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..parallel.config import ParallelConfig
+from ..resilience.backpressure import BackpressureConfig
+from .drivers import BoundedDriver, Driver, SerialDriver, ShardedDriver
+
+#: Equivalence classes a driver can promise relative to the serial run.
+BYTE_IDENTICAL = "byte-identical"
+SHED_TOLERANCE = "shedding-tolerance"
+
+
+@dataclass(frozen=True)
+class DriverCapabilities:
+    """One row of the composition table."""
+
+    name: str
+    #: Where a checkpoint is consistent: ``"record"`` (after any record),
+    #: ``"batch"`` (at batch boundaries; in-flight worker batches have
+    #: touched no path state), or ``"drained-queues"`` (only when every
+    #: bounded queue is empty).
+    checkpoint_barrier: str
+    #: Output guarantee relative to an identical serial run.
+    equivalence: str
+    notes: str
+
+    def line(self) -> str:
+        return (
+            f"{self.name:<16} checkpoint at {self.checkpoint_barrier:<14} "
+            f"{self.equivalence:<19} {self.notes}"
+        )
+
+
+CAPABILITY_TABLE = {
+    caps.name: caps
+    for caps in (
+        DriverCapabilities(
+            name="serial",
+            checkpoint_barrier="record",
+            equivalence=BYTE_IDENTICAL,
+            notes="the reference schedule; one record at a time",
+        ),
+        DriverCapabilities(
+            name="sharded",
+            checkpoint_barrier="batch",
+            equivalence=BYTE_IDENTICAL,
+            notes="tagging in worker processes; order-preserving merge",
+        ),
+        DriverCapabilities(
+            name="bounded",
+            checkpoint_barrier="drained-queues",
+            equivalence=SHED_TOLERANCE,
+            notes="bounded queues, credit flow control, load shedding",
+        ),
+        DriverCapabilities(
+            name="bounded-sharded",
+            checkpoint_barrier="drained-queues",
+            equivalence=SHED_TOLERANCE,
+            notes="bounded ingest feeding the sharded tagger's window",
+        ),
+    )
+}
+
+
+def driver_name(
+    parallel: Optional[ParallelConfig] = None,
+    backpressure: Optional[BackpressureConfig] = None,
+) -> str:
+    """Which driver a knob combination selects."""
+    if backpressure is not None:
+        return "bounded-sharded" if parallel is not None else "bounded"
+    return "sharded" if parallel is not None else "serial"
+
+
+def capabilities_for(
+    parallel: Optional[ParallelConfig] = None,
+    backpressure: Optional[BackpressureConfig] = None,
+) -> DriverCapabilities:
+    return CAPABILITY_TABLE[driver_name(parallel, backpressure)]
+
+
+def build_driver(
+    parallel: Optional[ParallelConfig] = None,
+    backpressure: Optional[BackpressureConfig] = None,
+) -> Driver:
+    """The execution driver for a knob combination.  Every combination is
+    legal: parallelism, backpressure, and checkpointing are orthogonal."""
+    if backpressure is not None:
+        return BoundedDriver(backpressure, parallel=parallel)
+    if parallel is not None:
+        return ShardedDriver(parallel)
+    return SerialDriver()
+
+
+def validate_run_config(
+    parallel: Optional[ParallelConfig] = None,
+    backpressure: Optional[BackpressureConfig] = None,
+    faults=None,
+    supervised: bool = False,
+    restart_budget: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+) -> DriverCapabilities:
+    """Reject the knob combinations that remain meaningless; return the
+    capability row for the rest.
+
+    This is deliberately short: the historical guards (parallel vs
+    backpressure, parallel vs checkpoint/resume, parallel vs supervision)
+    are gone because the engine made those pairs compose.  What is left
+    is a knob that would be *silently ignored* — a restart budget with
+    nothing supervising restarts — which we refuse rather than swallow.
+    """
+    if restart_budget is not None and not (supervised or faults is not None):
+        raise ValueError(
+            "restart_budget only takes effect under supervision; pass "
+            "supervised=True or faults=... (or drop the budget)"
+        )
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be at least 1 record")
+    return capabilities_for(parallel, backpressure)
+
+
+def capability_lines() -> List[str]:
+    """The composition table rendered for ``--help`` text and docs."""
+    header = (
+        f"{'driver':<16} {'checkpoint barrier':<28} "
+        f"{'vs serial':<19} notes"
+    )
+    return [header] + [
+        caps.line() for caps in CAPABILITY_TABLE.values()
+    ]

@@ -1,0 +1,397 @@
+"""Execution drivers: serial, sharded-parallel, and bounded schedules.
+
+A driver owns the *schedule* of one pipeline run — when each record
+moves through the :class:`~repro.engine.path.AlertPath` — and nothing
+else: the per-record semantics live entirely in the path, so every
+driver produces the same observable output (the bounded drivers modulo
+the documented shedding tolerance).  This is the piece that replaces the
+three hand-forked loops the pipeline used to carry:
+
+* :class:`SerialDriver` — one record at a time, the reference schedule;
+* :class:`ShardedDriver` — tagging fans out to worker processes
+  (:class:`~repro.parallel.sharded.ShardedTagger`); stats, severity,
+  and the Algorithm 3.1 filter stay the single sequential consumer of
+  the order-preserving merge;
+* :class:`BoundedDriver` — stages run behind bounded queues with
+  credit-based flow control and priority-aware load shedding; give it a
+  :class:`~repro.parallel.config.ParallelConfig` too and the service
+  stage tags through the worker pool (the bounded ingest queue feeds the
+  sharded tagger's already-bounded in-flight window).
+
+Checkpointing is orthogonal to all three: every driver accepts a
+:class:`~repro.resilience.checkpoint.CheckpointManager` and snapshots at
+its own consistency barrier — after any record (serial), at batch
+boundaries where no in-flight worker state affects the path (sharded),
+or at drained-queue barriers (bounded).  ``path.consumed`` is exact at
+each barrier, so a resumed run of the *same* deterministic stream lands
+byte-identical (bounded: within shedding tolerance).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Protocol, Tuple, runtime_checkable
+
+from ..logmodel.record import LogRecord
+from ..parallel.config import ParallelConfig
+from ..parallel.sharded import ShardedTagger, chunked
+from ..resilience.backpressure import (
+    SHED,
+    SPILL,
+    BackpressureConfig,
+    BoundedQueue,
+    CreditGate,
+    OverloadMonitor,
+    OverloadReport,
+)
+from ..resilience.checkpoint import CheckpointManager
+from ..resilience.deadletter import DeadLetterQueue, REASON_SHED_OVERLOAD
+from ..resilience.shedding import ShedAccounting, get_shed_policy
+from .path import AlertPath
+
+
+class DriverReport:
+    """Driver-specific extras for the :class:`PipelineResult`."""
+
+    def __init__(self, shard_stats=None, overload: Optional[OverloadReport] = None):
+        self.shard_stats = shard_stats
+        self.overload = overload
+
+
+@runtime_checkable
+class Driver(Protocol):
+    """One execution schedule for an :class:`AlertPath`."""
+
+    name: str
+
+    def run(
+        self,
+        source: Iterator[LogRecord],
+        path: AlertPath,
+        checkpointer: Optional[CheckpointManager] = None,
+    ) -> DriverReport: ...
+
+
+class SerialDriver:
+    """The reference schedule: one record at a time, in process."""
+
+    name = "serial"
+
+    def run(
+        self,
+        source: Iterator[LogRecord],
+        path: AlertPath,
+        checkpointer: Optional[CheckpointManager] = None,
+    ) -> DriverReport:
+        for record in source:
+            if not path.admit(record):
+                continue
+            path.process(record)
+            if checkpointer is not None:
+                checkpointer.maybe(path.consumed, path.snapshot)
+        return DriverReport()
+
+
+class ShardedDriver:
+    """Tagging fans out to worker processes; everything order-defined
+    stays in the parent.
+
+    Only the tagger — the hot path, where almost every record matches no
+    rule — runs in workers.  Batches are cut from the *raw* stream and
+    only the structurally valid records are shipped; admission,
+    quarantine, stats, severity, and the filter all happen in the parent
+    at batch-processing time, in original stream order, so the
+    dead-letter interleaving and every path decision match the serial
+    schedule exactly.
+
+    Checkpoints are taken at batch boundaries: when batch *i* has been
+    processed, the path reflects exactly the records of batches ``0..i``
+    — records pulled into still-in-flight batches have touched no path
+    state — so ``path.consumed`` is a consistent resume point even
+    though workers are still busy.
+    """
+
+    name = "sharded"
+
+    def __init__(self, config: ParallelConfig):
+        self.config = config
+
+    def run(
+        self,
+        source: Iterator[LogRecord],
+        path: AlertPath,
+        checkpointer: Optional[CheckpointManager] = None,
+    ) -> DriverReport:
+        pending: Deque[Tuple[List[LogRecord], Optional[List[bool]]]] = deque()
+        strict = path.dead_letters is None
+
+        def shipped() -> Iterator[List[LogRecord]]:
+            """Cut raw batches; ship the valid subsequence to workers.
+            In strict mode everything ships (the serial path does not
+            validate either) and worker errors re-raise in the parent."""
+            for raw_batch in chunked(source, self.config.batch_size):
+                if strict:
+                    flags = None
+                    valid = raw_batch
+                else:
+                    flags = [path.valid(r) for r in raw_batch]
+                    valid = [r for r, ok in zip(raw_batch, flags) if ok]
+                pending.append((raw_batch, flags))
+                yield valid
+
+        with ShardedTagger(path.system, self.config) as sharded:
+            for _valid_batch, outcome in sharded.tag_batches(shipped()):
+                raw_batch, _flags = pending.popleft()
+                errors = outcome.error_map()
+                hits = outcome.hit_map()
+                shipped_index = 0
+                for record in raw_batch:
+                    if not path.admit(record):
+                        continue
+                    path.observe(record)
+                    alert = path.apply_tagged(
+                        record,
+                        alert=hits.get(shipped_index),
+                        error=errors.get(shipped_index),
+                    )
+                    shipped_index += 1
+                    if alert is not None:
+                        path.offer(alert)
+                if checkpointer is not None:
+                    checkpointer.maybe(path.consumed, path.snapshot)
+            shard_stats = sharded.stats
+        return DriverReport(shard_stats=shard_stats)
+
+
+class BoundedDriver:
+    """Stages behind bounded queues, driven in ticks.
+
+    Per tick the source offers ``arrival_batch`` records — credit-paced
+    for a pausable source, shed-policy-gated otherwise — the tag stage
+    serves ``service_batch``, and the filter serves ``filter_batch``.
+    Sustained overload (the monitor's high-watermark flag) optionally
+    degrades the run — coarser stats, larger filter ``T`` — instead of
+    growing without bound.
+
+    With a :class:`ParallelConfig`, the service stage tags each tick's
+    drain through the shared worker pool instead of in-process: the
+    bounded ingest queue feeds the sharded tagger's in-flight window
+    (itself bounded by ``max_inflight``), and the merged outcomes are
+    offered to the filter inline, still in stream order.
+
+    Checkpoints are taken only at drained-queue barriers, where every
+    consumed record has been processed, quarantined, or shed; shedding
+    makes resumed results equivalent within shedding tolerance rather
+    than byte-identical.  The shed policy's dedup lookback is part of
+    the snapshot, so a resumed policy keeps its duplicate memory.
+    """
+
+    name = "bounded"
+
+    def __init__(
+        self,
+        config: BackpressureConfig,
+        parallel: Optional[ParallelConfig] = None,
+    ):
+        self.config = config
+        self.parallel = parallel
+        if parallel is not None:
+            self.name = "bounded-sharded"
+
+    def run(
+        self,
+        source: Iterator[LogRecord],
+        path: AlertPath,
+        checkpointer: Optional[CheckpointManager] = None,
+    ) -> DriverReport:
+        config = self.config
+        if path.dead_letters is None:
+            # Bounded mode must never lose a tagged alert silently: the
+            # spill path needs somewhere accounted to land.
+            path.dead_letters = DeadLetterQueue()
+        window = (
+            path.threshold if config.dedup_window is None else config.dedup_window
+        )
+        policy = get_shed_policy(
+            config.shed_policy, dedup_window=window
+        ).bind(path.tagger)
+        if path.resumed_shed_state is not None:
+            policy.load_state_dict(path.resumed_shed_state)
+        accounting = (
+            config.accounting if config.accounting is not None else ShedAccounting()
+        )
+        monitor = (
+            config.monitor if config.monitor is not None
+            else OverloadMonitor(sustain=config.sustain)
+        )
+        ingest_q = monitor.attach(BoundedQueue(
+            "ingest", config.max_buffer, config.watermarks_for(config.max_buffer)
+        ))
+        gate = CreditGate(ingest_q)
+
+        if self.parallel is None:
+            report = self._run_serial_stages(
+                source, path, checkpointer, policy, accounting, monitor,
+                ingest_q, gate,
+            )
+        else:
+            report = self._run_sharded_stages(
+                source, path, checkpointer, policy, accounting, monitor,
+                ingest_q, gate,
+            )
+        return report
+
+    # -- shared arrival tick ----------------------------------------------
+
+    def _arrival_tick(self, source, path, policy, accounting, monitor,
+                      ingest_q, gate) -> bool:
+        """One arrival burst; returns ``True`` once the source is done.
+        A pausable source is slowed by credits (nothing lost); an
+        unpausable one goes through the shed policy, which degrades in
+        the paper-aware order — and every loss is accounted."""
+        config = self.config
+        want = config.arrival_batch
+        if config.source_pausable:
+            want = gate.acquire(want)
+        arrived = 0
+        exhausted = False
+        for _ in range(want):
+            try:
+                record = next(source)
+            except StopIteration:
+                exhausted = True
+                break
+            arrived += 1
+            if not path.admit(record):
+                continue
+            decision, klass = policy.decide(record, ingest_q.pressure())
+            accounting.count_offered(klass)
+            if decision == SHED:
+                accounting.count_shed(klass)
+                continue
+            if decision == SPILL or not ingest_q.put(record):
+                accounting.count_spilled(klass)
+                path.dead_letters.put(record, REASON_SHED_OVERLOAD, klass)
+        monitor.note_throughput("arrive", arrived)
+        return exhausted
+
+    def _degrade_check(self, path, monitor, degraded: bool) -> bool:
+        config = self.config
+        if config.degrade and monitor.sustained_overload and not degraded:
+            path.filter.threshold = path.threshold * config.degrade_threshold_factor
+            if config.degrade_coarse_stats:
+                path.stats_collector.coarse = True
+            monitor.events.append(
+                f"degraded mode entered: filter T raised to "
+                f"{path.filter.threshold:g}s"
+                + (", stats coarsened" if config.degrade_coarse_stats else "")
+            )
+            return True
+        return degraded
+
+    def _maybe_checkpoint(self, path, checkpointer, policy) -> None:
+        if checkpointer is not None:
+            checkpointer.maybe(
+                path.consumed,
+                lambda: path.snapshot(shed_state=policy.state_dict()),
+            )
+
+    # -- in-process tag stage (the historical bounded pump) ----------------
+
+    def _run_serial_stages(self, source, path, checkpointer, policy,
+                           accounting, monitor, ingest_q, gate) -> DriverReport:
+        config = self.config
+        alert_q = monitor.attach(BoundedQueue(
+            "filter", config.filter_buffer,
+            config.watermarks_for(config.filter_buffer),
+        ))
+        degraded = False
+        exhausted = False
+        while not exhausted or ingest_q or alert_q:
+            if not exhausted:
+                exhausted = self._arrival_tick(
+                    source, path, policy, accounting, monitor, ingest_q, gate
+                )
+
+            # -- tag/stats stage: halts when the filter queue is full,
+            #    which is how downstream pressure propagates upstream ----
+            served = 0
+            while served < config.service_batch and ingest_q and not alert_q.full:
+                record = ingest_q.get()
+                served += 1
+                path.observe(record)
+                alert = path.tag(record)
+                if alert is not None:
+                    alert_q.put(alert)
+            monitor.note_throughput("tag", served)
+
+            # -- filter stage -------------------------------------------
+            drained = 0
+            while drained < config.filter_batch and alert_q:
+                path.offer(alert_q.get())
+                drained += 1
+            monitor.note_throughput("filter", drained)
+
+            monitor.sample()
+            degraded = self._degrade_check(path, monitor, degraded)
+            if not ingest_q and not alert_q:
+                self._maybe_checkpoint(path, checkpointer, policy)
+
+        return DriverReport(overload=OverloadReport.from_parts(
+            monitor=monitor, accounting=accounting, gate=gate,
+            degraded=degraded,
+        ))
+
+    # -- worker-pool tag stage (backpressure x parallel) -------------------
+
+    def _run_sharded_stages(self, source, path, checkpointer, policy,
+                            accounting, monitor, ingest_q, gate) -> DriverReport:
+        config = self.config
+        degraded = False
+        exhausted = False
+        with ShardedTagger(path.system, self.parallel) as sharded:
+            while not exhausted or ingest_q:
+                if not exhausted:
+                    exhausted = self._arrival_tick(
+                        source, path, policy, accounting, monitor,
+                        ingest_q, gate,
+                    )
+
+                # -- service stage: drain one tick's worth through the
+                #    worker pool; the merge hands outcomes back in
+                #    stream order, so offers stay order-defined --------
+                round_records = ingest_q.take(config.service_batch)
+                offered = 0
+                if round_records:
+                    batches = chunked(iter(round_records),
+                                      self.parallel.batch_size)
+                    for batch, outcome in sharded.tag_batches(batches):
+                        errors = outcome.error_map()
+                        hits = outcome.hit_map()
+                        for i, record in enumerate(batch):
+                            path.observe(record)
+                            alert = path.apply_tagged(
+                                record, alert=hits.get(i),
+                                error=errors.get(i),
+                            )
+                            if alert is not None:
+                                path.offer(alert)
+                                offered += 1
+                monitor.note_throughput("tag", len(round_records))
+                monitor.note_throughput("filter", offered)
+
+                monitor.sample()
+                degraded = self._degrade_check(path, monitor, degraded)
+                if not ingest_q:
+                    # A true barrier: the tick's batches were fully
+                    # merged and offered, nothing is in flight.
+                    self._maybe_checkpoint(path, checkpointer, policy)
+            shard_stats = sharded.stats
+
+        return DriverReport(
+            shard_stats=shard_stats,
+            overload=OverloadReport.from_parts(
+                monitor=monitor, accounting=accounting, gate=gate,
+                degraded=degraded,
+            ),
+        )

@@ -1,0 +1,264 @@
+"""The per-record semantics of the pipeline, expressed exactly once.
+
+Before the engine existed, the semantic core of Section 3 — admission,
+Table 2 volume statistics, expert-rule tagging, the severity cross-tab,
+the Algorithm 3.1 offer, and every dead-letter branch — was hand-forked
+into three loops inside ``pipeline.py`` (serial, sharded-parallel, and
+bounded), and every behavioral PR had to patch all three.
+:class:`AlertPath` is that core as one object.  Drivers
+(:mod:`repro.engine.drivers`) decide *when* each step runs; the path
+decides *what* the step does, so the serial, sharded, and bounded
+schedules cannot drift apart semantically.
+
+The granular methods compose into the two canonical per-record shapes:
+
+* :meth:`process` — admit -> observe -> tag (severity included) ->
+  offer, the serial shape, also used by the bounded driver split across
+  queue boundaries (observe+tag at the service stage, offer at the
+  filter stage);
+* :meth:`apply_tagged` + :meth:`offer` — the sharded shape, where the
+  tag outcome was computed in a worker process and the parent replays
+  the same severity/dead-letter decisions on the merged stream.
+
+The path also owns resumability: :meth:`snapshot` captures every piece
+of mutable state plus ``consumed`` (records pulled from the input
+stream), and constructing a path with ``resume_from=`` restores it, so
+checkpoint/resume works identically under every driver.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..core.filtering import (
+    DEFAULT_THRESHOLD,
+    FilterReport,
+    OutOfOrderError,
+    SpatioTemporalFilter,
+)
+from ..core.categories import Alert
+from ..core.rules import get_ruleset
+from ..core.tagging import Tagger
+from ..analysis.severity_eval import SeverityCrossTab
+from ..logio.stats import StatsCollector
+from ..logmodel.record import LogRecord
+from ..resilience.checkpoint import (
+    PipelineCheckpoint,
+    copy_report,
+    copy_severity,
+)
+from ..resilience.deadletter import (
+    DeadLetterQueue,
+    REASON_INVALID_RECORD,
+    REASON_OUT_OF_ORDER,
+    REASON_TAGGER_ERROR,
+)
+from ..parallel.sharded import TaggerErrorReplay
+from .result import PipelineResult
+from .stages import AlertListSink
+
+#: How far back an alert timestamp may run (collector fan-in jitter,
+#: syslog's one-second granularity) before it is quarantined rather than
+#: filtered.  Matches the strict-monotonicity contract of Algorithm 3.1.
+DEFAULT_REORDER_TOLERANCE = 1.0
+
+
+def _valid_record(record: LogRecord) -> bool:
+    """Structural admission check: can downstream stages process this?"""
+    try:
+        if not math.isfinite(record.timestamp):
+            return False
+    except TypeError:
+        return False
+    return isinstance(record.body, str) and isinstance(record.source, str)
+
+
+class AlertPath:
+    """validate -> observe stats -> tag -> severity -> filter ->
+    report/dead-letter, as one stateful object shared by every driver.
+
+    With ``dead_letters`` attached the path quarantines what it cannot
+    process instead of raising; without a queue the historical strict
+    behavior holds (admission admits everything, errors propagate).
+
+    Pass ``resume_from`` (a :class:`PipelineCheckpoint`) to restore
+    mid-stream state; the caller must also skip the consumed prefix of
+    the re-presented stream (``islice(source, path.consumed, None)``).
+    """
+
+    def __init__(
+        self,
+        system: str,
+        threshold: float = DEFAULT_THRESHOLD,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        reorder_tolerance: float = DEFAULT_REORDER_TOLERANCE,
+        resume_from: Optional[PipelineCheckpoint] = None,
+        tagger: Optional[Tagger] = None,
+    ):
+        self.system = system
+        self.threshold = threshold
+        self.dead_letters = dead_letters
+        self.reorder_tolerance = reorder_tolerance
+        self.tagger = tagger if tagger is not None else Tagger(get_ruleset(system))
+
+        if resume_from is not None:
+            if resume_from.system != system:
+                raise ValueError(
+                    f"checkpoint is for {resume_from.system!r}, not {system!r}"
+                )
+            if resume_from.threshold != threshold:
+                raise ValueError(
+                    "checkpoint was taken with a different threshold"
+                )
+            self.stats_collector = resume_from.restore_stats()
+            self.filter = resume_from.restore_filter()
+            self.report = resume_from.restore_report()
+            self.severity_tab = resume_from.restore_severity()
+            raw = list(resume_from.raw_alerts)
+            filtered = list(resume_from.filtered_alerts)
+            self.corrupted = resume_from.corrupted_messages
+            self.consumed = resume_from.records_consumed
+            if dead_letters is not None:
+                dead_letters.restore(resume_from.dead_letters)
+            self.resumed_shed_state = resume_from.shed_state
+        else:
+            self.stats_collector = StatsCollector(system)
+            self.filter = SpatioTemporalFilter(
+                threshold, reorder_tolerance=reorder_tolerance
+            )
+            self.report = FilterReport(threshold=threshold)
+            self.severity_tab = SeverityCrossTab()
+            raw = []
+            filtered = []
+            self.corrupted = 0
+            self.consumed = 0
+            self.resumed_shed_state = None
+        self.sink = AlertListSink(self.report, raw, filtered)
+
+    # -- admission ---------------------------------------------------------
+
+    @staticmethod
+    def valid(record: LogRecord) -> bool:
+        """Structural validity, with no side effects (drivers that ship
+        records elsewhere check ahead of time; quarantine still happens
+        in stream order via :meth:`admit`)."""
+        return _valid_record(record)
+
+    def admit(self, record: LogRecord) -> bool:
+        """Count one input record; quarantine the structurally invalid
+        before they can crash the renderer or the filter.  Returns
+        ``True`` when the record proceeds.  Strict mode (no dead-letter
+        queue) admits everything, as the pipeline always has."""
+        self.consumed += 1
+        if self.dead_letters is not None and not _valid_record(record):
+            self.dead_letters.put(record, REASON_INVALID_RECORD)
+            return False
+        return True
+
+    # -- the per-record stages --------------------------------------------
+
+    def observe(self, record: LogRecord) -> None:
+        """Table 2 volume statistics plus the corruption count."""
+        self.stats_collector.observe_record(record)
+        if record.corrupted:
+            self.corrupted += 1
+
+    def tag(self, record: LogRecord) -> Optional[Alert]:
+        """Tag in-process and record the severity cross-tab.  A record
+        that crashes the rules engine is quarantined (or raises in
+        strict mode) and skips the severity tab, exactly as the serial
+        loop always did."""
+        try:
+            alert = self.tagger.tag(record)
+        except Exception as exc:
+            if self.dead_letters is None:
+                raise
+            self.dead_letters.put(record, REASON_TAGGER_ERROR, repr(exc))
+            return None
+        self.severity_tab.add(record, alert is not None)
+        return alert
+
+    def apply_tagged(
+        self,
+        record: LogRecord,
+        alert: Optional[Alert] = None,
+        error: Optional[str] = None,
+    ) -> Optional[Alert]:
+        """The sharded form of :meth:`tag`: the outcome was computed in a
+        worker process; replay the same severity/dead-letter decisions.
+        ``error`` is the worker-side exception ``repr`` (the original
+        object cannot cross the process boundary)."""
+        if error is not None:
+            if self.dead_letters is None:
+                raise TaggerErrorReplay(error)
+            self.dead_letters.put(record, REASON_TAGGER_ERROR, error)
+            return None
+        self.severity_tab.add(record, alert is not None)
+        return alert
+
+    def offer(self, alert: Alert) -> None:
+        """One Algorithm 3.1 offer: filter, report, collect — or
+        quarantine an alert whose timestamp runs backwards beyond the
+        reorder tolerance."""
+        try:
+            kept = self.filter.offer(alert)
+        except OutOfOrderError as exc:
+            if self.dead_letters is None:
+                raise
+            self.dead_letters.put(alert.record, REASON_OUT_OF_ORDER, str(exc))
+            return
+        self.sink.emit(alert, kept)
+
+    def process(self, record: LogRecord) -> None:
+        """The whole post-admission per-record step (the serial shape)."""
+        self.observe(record)
+        alert = self.tag(record)
+        if alert is not None:
+            self.offer(alert)
+
+    # -- resumability ------------------------------------------------------
+
+    def snapshot(
+        self, shed_state: Optional[Dict[str, float]] = None
+    ) -> PipelineCheckpoint:
+        """Complete resumable state at the current record boundary.
+        Drivers must only call this when every consumed record is fully
+        accounted for (processed, quarantined, or shed) — the serial
+        driver trivially always is; batch/queue drivers call it at their
+        barriers."""
+        return PipelineCheckpoint(
+            system=self.system,
+            threshold=self.threshold,
+            records_consumed=self.consumed,
+            stats=self.stats_collector.snapshot(),
+            filter_state=self.filter.state_dict(),
+            report=copy_report(self.report),
+            severity=copy_severity(self.severity_tab),
+            raw_alerts=tuple(self.sink.raw_alerts),
+            filtered_alerts=tuple(self.sink.filtered_alerts),
+            corrupted_messages=self.corrupted,
+            dead_letters=(
+                self.dead_letters.snapshot() if self.dead_letters else None
+            ),
+            shed_state=shed_state,
+        )
+
+    # -- finishing ---------------------------------------------------------
+
+    def result(self, **extras) -> PipelineResult:
+        """Finish the stats and assemble the :class:`PipelineResult`;
+        ``extras`` carry driver-specific fields (``shard_stats``,
+        ``overload``, ``generated``, ``checkpoints``)."""
+        return PipelineResult(
+            system=self.system,
+            stats=self.stats_collector.finish(),
+            raw_alerts=self.sink.raw_alerts,
+            filtered_alerts=self.sink.filtered_alerts,
+            filter_report=self.report,
+            severity_tab=self.severity_tab,
+            corrupted_messages=self.corrupted,
+            threshold=self.threshold,
+            dead_letters=self.dead_letters,
+            **extras,
+        )

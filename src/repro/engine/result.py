@@ -1,0 +1,105 @@
+"""The result object every driver produces: one machine's pipeline run.
+
+:class:`PipelineResult` used to live in :mod:`repro.pipeline`; it moved
+here when the three forked pipeline loops were unified into the stage
+engine, because the result is a property of the *semantics* (the
+:class:`~repro.engine.path.AlertPath`), not of any particular execution
+driver.  :mod:`repro.pipeline` re-exports it, so downstream code keeps
+importing ``pipeline.PipelineResult`` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..core.categories import Alert
+from ..core.filtering import DEFAULT_THRESHOLD, FilterReport
+from ..analysis.severity_eval import SeverityCrossTab
+from ..logio.stats import LogStats
+from ..parallel.sharded import ShardStats
+from ..resilience.backpressure import OverloadReport
+from ..resilience.deadletter import DeadLetterQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..resilience.checkpoint import CheckpointManager
+    from ..simulation.generator import GeneratedLog
+
+
+@dataclass
+class PipelineResult:
+    """Everything one machine's pipeline run produced."""
+
+    system: str
+    stats: LogStats
+    raw_alerts: List[Alert]
+    filtered_alerts: List[Alert]
+    filter_report: FilterReport
+    severity_tab: SeverityCrossTab
+    corrupted_messages: int
+    generated: Optional["GeneratedLog"] = None
+    threshold: float = DEFAULT_THRESHOLD
+    dead_letters: Optional[DeadLetterQueue] = None
+    degraded: bool = False
+    restarts: int = 0
+    failure_log: List[str] = field(default_factory=list)
+    overload: Optional[OverloadReport] = None
+    shard_stats: Optional[ShardStats] = None
+    #: The checkpoint manager the run snapshotted into, when the caller
+    #: asked for unsupervised checkpointing (``run_system(checkpoint_every=
+    #: ...)``); ``checkpoints.latest`` is the resume point after a crash.
+    checkpoints: Optional["CheckpointManager"] = None
+
+    @property
+    def message_count(self) -> int:
+        return self.stats.messages
+
+    @property
+    def raw_alert_count(self) -> int:
+        return len(self.raw_alerts)
+
+    @property
+    def filtered_alert_count(self) -> int:
+        return len(self.filtered_alerts)
+
+    @property
+    def observed_categories(self) -> int:
+        return len({alert.category for alert in self.raw_alerts})
+
+    @property
+    def dead_letter_count(self) -> int:
+        return self.dead_letters.quarantined if self.dead_letters else 0
+
+    def category_counts(self) -> Dict[str, List[int]]:
+        """Per-category [raw, filtered] counts (the Table 4 columns)."""
+        return dict(self.filter_report.by_category)
+
+    def summary(self) -> str:
+        """A Table 2-style one-machine summary."""
+        lines = [
+            f"system:            {self.system}",
+            f"messages:          {self.message_count:,}",
+            f"log size:          {self.stats.raw_bytes:,} bytes "
+            f"({self.stats.compressed_bytes:,} gzipped)",
+            f"span:              {self.stats.days:.1f} days "
+            f"({self.stats.rate_bytes_per_second:.1f} bytes/sec)",
+            f"alerts (raw):      {self.raw_alert_count:,}",
+            f"alerts (filtered): {self.filtered_alert_count:,} "
+            f"(T={self.threshold:g}s)",
+            f"categories:        {self.observed_categories}",
+            f"corrupted:         {self.corrupted_messages:,}",
+        ]
+        if self.dead_letters is not None and self.dead_letters.quarantined:
+            lines.append(f"dead letters:      {self.dead_letters.summary()}")
+        if self.overload is not None:
+            lines.extend(self.overload.summary_lines())
+        if self.shard_stats is not None:
+            lines.append(self.shard_stats.summary_line())
+        if self.restarts:
+            lines.append(f"restarts:          {self.restarts}")
+        if self.degraded:
+            lines.append(
+                "degraded:          yes (restart budget exhausted; "
+                "counts cover the stream up to the last checkpoint)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Stage protocols: the composition contract of the engine.
+
+The paper's pipeline (Section 3) is a linear chain — collect -> tag ->
+filter -> characterize — and every execution strategy (serial, sharded,
+bounded) runs the *same* chain under a different schedule.  These
+protocols pin the seams:
+
+* a :class:`Source` produces log records (a generator, a file reader, a
+  bounded ingest buffer — anything iterable);
+* a :class:`Stage` consumes one record at a time and mutates its own
+  state (the :class:`~repro.engine.path.AlertPath` is the canonical
+  stage: it *is* the per-record semantics);
+* a :class:`Sink` receives every alert the filter ruled on, with the
+  verdict (:class:`AlertListSink` keeps the raw/filtered lists and the
+  Table 4 report that :class:`~repro.engine.result.PipelineResult`
+  carries).
+
+Drivers (:mod:`repro.engine.drivers`) are deliberately *not* a protocol
+method on stages: a driver owns the schedule (when each record moves),
+the stages own the semantics (what happens to it).  That split is what
+makes parallelism, backpressure, and checkpointing orthogonal wrappers
+instead of forked loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Protocol, runtime_checkable
+
+from ..core.categories import Alert
+from ..core.filtering import FilterReport
+from ..logmodel.record import LogRecord
+
+
+@runtime_checkable
+class Source(Protocol):
+    """Anything that yields log records in timestamp order."""
+
+    def __iter__(self) -> Iterator[LogRecord]: ...
+
+
+#: A replayable source: calling it re-presents the *same* deterministic
+#: stream from the beginning.  Checkpoint/resume and supervision need
+#: replayability — a resumed run skips the consumed prefix of a fresh
+#: presentation — and a plain iterator cannot promise that.
+SourceFactory = Callable[[], Iterable[LogRecord]]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One per-record processing step with internal state."""
+
+    def process(self, record: LogRecord) -> None: ...
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Receives every alert the filter ruled on, with the verdict."""
+
+    def emit(self, alert: Alert, kept: bool) -> None: ...
+
+
+class AlertListSink:
+    """The default sink: raw/filtered alert lists plus the Table 4 report.
+
+    Resume support: a restored run hands in the lists recovered from the
+    checkpoint and the sink keeps appending to them in place.
+    """
+
+    def __init__(
+        self,
+        report: FilterReport,
+        raw_alerts: List[Alert],
+        filtered_alerts: List[Alert],
+    ):
+        self.report = report
+        self.raw_alerts = raw_alerts
+        self.filtered_alerts = filtered_alerts
+
+    def emit(self, alert: Alert, kept: bool) -> None:
+        self.raw_alerts.append(alert)
+        self.report.record(alert, kept)
+        if kept:
+            self.filtered_alerts.append(alert)

@@ -57,6 +57,14 @@ class OrderedMerge:
     def peak_occupancy(self) -> int:
         return self._ready.peak_occupancy
 
+    @property
+    def at_barrier(self) -> bool:
+        """True when nothing is buffered: every accepted item has been
+        released in order.  This is the point where a consumer's state
+        covers a contiguous prefix of the stream — the condition the
+        engine's sharded driver requires before taking a checkpoint."""
+        return not self._held and not self._ready
+
     def add(self, index: int, item: Any) -> None:
         """Accept one completed item; indexes must be unique."""
         if index < self.next_index or index in self._held:
@@ -82,7 +90,7 @@ class OrderedMerge:
 
     def assert_empty(self) -> None:
         """Raise if anything is still buffered (a lost batch)."""
-        if self._held or self._ready:
+        if not self.at_barrier:
             raise MergeOrderError(
                 f"merge finished with {len(self)} undelivered item(s); "
                 f"waiting on index {self.next_index}"

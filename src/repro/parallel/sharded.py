@@ -10,6 +10,15 @@ compiled the ruleset once at startup, and an :class:`~repro.parallel.
 merge.OrderedMerge` reassembles outcomes into submission order for the
 single sequential Algorithm 3.1 consumer.
 
+Since the stage-engine refactor, :class:`ShardedTagger` is the machinery
+behind two execution drivers
+(:class:`~repro.engine.drivers.ShardedDriver`, and
+:class:`~repro.engine.drivers.BoundedDriver` when a bounded run also
+shards): the drivers own admission/stats/severity/filter scheduling and
+call :meth:`ShardedTagger.tag_batches` for the fan-out/merge cycle, so
+the pool's ordering and crash-retry guarantees are shared rather than
+reimplemented per loop.
+
 Crash handling follows the supervisor doctrine of
 :mod:`repro.resilience`: a worker process that dies mid-batch (OOM
 killer, segfaulting regex engine, injected test fault) produced **no**

@@ -10,8 +10,19 @@ contribution together the way Sections 3 and 4 do:
 5. keep everything an analysis needs (raw alerts, filtered alerts, cross
    tabs, ground truth) on one result object.
 
-The pipeline is built to survive the collection-path pathologies the
-paper documents (Sections 3.1-3.2): attach a
+Since the stage-engine refactor this module is a thin façade over
+:mod:`repro.engine`: the per-record semantics live exactly once in
+:class:`~repro.engine.path.AlertPath`, the execution schedule in the
+pluggable drivers (:mod:`repro.engine.drivers`), and composition rules
+in one capability table (:mod:`repro.engine.capabilities`).  The knobs
+compose orthogonally — ``parallel`` with ``checkpointer``/``resume_from``
+(snapshots at batch barriers), ``parallel`` with ``backpressure`` (the
+bounded ingest queue feeds the sharded tagger's in-flight window), and
+either with supervision — where the historical forked loops forbade
+those pairs.
+
+The pipeline survives the collection-path pathologies the paper
+documents (Sections 3.1-3.2): attach a
 :class:`~repro.resilience.deadletter.DeadLetterQueue` and records the
 stages cannot process are quarantined instead of crashing the run; attach
 a :class:`~repro.resilience.checkpoint.CheckpointManager` and the run can
@@ -30,177 +41,35 @@ Example::
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
 from itertools import islice
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
-from .core.categories import Alert
-from .core.filtering import (
-    DEFAULT_THRESHOLD,
-    FilterReport,
-    OutOfOrderError,
-    SpatioTemporalFilter,
-)
-from .core.rules import get_ruleset
-from .core.tagging import Tagger
-from .analysis.severity_eval import SeverityCrossTab
-from .logio.stats import LogStats, StatsCollector
+from .core.filtering import DEFAULT_THRESHOLD
+from .engine.capabilities import build_driver, validate_run_config
+from .engine.path import DEFAULT_REORDER_TOLERANCE, AlertPath
+from .engine.result import PipelineResult
 from .logmodel.record import LogRecord
-from .resilience.backpressure import (
-    SHED,
-    SPILL,
-    BackpressureConfig,
-    BoundedQueue,
-    CreditGate,
-    OverloadMonitor,
-    OverloadReport,
-)
-from .resilience.checkpoint import (
-    CheckpointManager,
-    PipelineCheckpoint,
-    copy_report,
-    copy_severity,
-)
-from .resilience.deadletter import (
-    DeadLetterQueue,
-    REASON_INVALID_RECORD,
-    REASON_OUT_OF_ORDER,
-    REASON_SHED_OVERLOAD,
-    REASON_TAGGER_ERROR,
-)
-from .resilience.shedding import ShedAccounting, get_shed_policy
+from .resilience.backpressure import BackpressureConfig
+from .resilience.checkpoint import CheckpointManager, PipelineCheckpoint
+from .resilience.deadletter import DeadLetterQueue
 from .parallel.config import ParallelConfig
-from .parallel.sharded import ShardStats, ShardedTagger, TaggerErrorReplay, chunked
 from .simulation.generator import GeneratedLog, LogGenerator
 
-#: How far back an alert timestamp may run (collector fan-in jitter,
-#: syslog's one-second granularity) before it is quarantined rather than
-#: filtered.  Matches the strict-monotonicity contract of Algorithm 3.1.
-DEFAULT_REORDER_TOLERANCE = 1.0
+#: Supervised defaults, applied when ``run_system(supervised=True)`` /
+#: ``faults=...`` is used without explicit budget/cadence knobs.
+DEFAULT_RESTART_BUDGET = 3
+DEFAULT_CHECKPOINT_EVERY = 2000
 
-
-@dataclass
-class PipelineResult:
-    """Everything one machine's pipeline run produced."""
-
-    system: str
-    stats: LogStats
-    raw_alerts: List[Alert]
-    filtered_alerts: List[Alert]
-    filter_report: FilterReport
-    severity_tab: SeverityCrossTab
-    corrupted_messages: int
-    generated: Optional[GeneratedLog] = None
-    threshold: float = DEFAULT_THRESHOLD
-    dead_letters: Optional[DeadLetterQueue] = None
-    degraded: bool = False
-    restarts: int = 0
-    failure_log: List[str] = field(default_factory=list)
-    overload: Optional[OverloadReport] = None
-    shard_stats: Optional[ShardStats] = None
-
-    @property
-    def message_count(self) -> int:
-        return self.stats.messages
-
-    @property
-    def raw_alert_count(self) -> int:
-        return len(self.raw_alerts)
-
-    @property
-    def filtered_alert_count(self) -> int:
-        return len(self.filtered_alerts)
-
-    @property
-    def observed_categories(self) -> int:
-        return len({alert.category for alert in self.raw_alerts})
-
-    @property
-    def dead_letter_count(self) -> int:
-        return self.dead_letters.quarantined if self.dead_letters else 0
-
-    def category_counts(self) -> Dict[str, List[int]]:
-        """Per-category [raw, filtered] counts (the Table 4 columns)."""
-        return dict(self.filter_report.by_category)
-
-    def summary(self) -> str:
-        """A Table 2-style one-machine summary."""
-        lines = [
-            f"system:            {self.system}",
-            f"messages:          {self.message_count:,}",
-            f"log size:          {self.stats.raw_bytes:,} bytes "
-            f"({self.stats.compressed_bytes:,} gzipped)",
-            f"span:              {self.stats.days:.1f} days "
-            f"({self.stats.rate_bytes_per_second:.1f} bytes/sec)",
-            f"alerts (raw):      {self.raw_alert_count:,}",
-            f"alerts (filtered): {self.filtered_alert_count:,} "
-            f"(T={self.threshold:g}s)",
-            f"categories:        {self.observed_categories}",
-            f"corrupted:         {self.corrupted_messages:,}",
-        ]
-        if self.dead_letters is not None and self.dead_letters.quarantined:
-            lines.append(f"dead letters:      {self.dead_letters.summary()}")
-        if self.overload is not None:
-            lines.extend(self.overload.summary_lines())
-        if self.shard_stats is not None:
-            lines.append(self.shard_stats.summary_line())
-        if self.restarts:
-            lines.append(f"restarts:          {self.restarts}")
-        if self.degraded:
-            lines.append(
-                "degraded:          yes (restart budget exhausted; "
-                "counts cover the stream up to the last checkpoint)"
-            )
-        return "\n".join(lines)
-
-
-def _valid_record(record: LogRecord) -> bool:
-    """Structural admission check: can downstream stages process this?"""
-    try:
-        if not math.isfinite(record.timestamp):
-            return False
-    except TypeError:
-        return False
-    return isinstance(record.body, str) and isinstance(record.source, str)
-
-
-def _restore_or_init(
-    system: str,
-    threshold: float,
-    resume_from: Optional[PipelineCheckpoint],
-    dead_letters: Optional[DeadLetterQueue],
-    reorder_tolerance: float,
-):
-    """Fresh streaming state, or state restored from a checkpoint."""
-    if resume_from is not None:
-        if resume_from.system != system:
-            raise ValueError(
-                f"checkpoint is for {resume_from.system!r}, not {system!r}"
-            )
-        if resume_from.threshold != threshold:
-            raise ValueError("checkpoint was taken with a different threshold")
-        stats_collector = resume_from.restore_stats()
-        stf = resume_from.restore_filter()
-        report = resume_from.restore_report()
-        severity_tab = resume_from.restore_severity()
-        raw_alerts: List[Alert] = list(resume_from.raw_alerts)
-        filtered_alerts: List[Alert] = list(resume_from.filtered_alerts)
-        corrupted = resume_from.corrupted_messages
-        consumed = resume_from.records_consumed
-        if dead_letters is not None:
-            dead_letters.restore(resume_from.dead_letters)
-    else:
-        stats_collector = StatsCollector(system)
-        stf = SpatioTemporalFilter(threshold, reorder_tolerance=reorder_tolerance)
-        report = FilterReport(threshold=threshold)
-        severity_tab = SeverityCrossTab()
-        raw_alerts = []
-        filtered_alerts = []
-        corrupted = 0
-        consumed = 0
-    return (stats_collector, stf, report, severity_tab, raw_alerts,
-            filtered_alerts, corrupted, consumed)
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_REORDER_TOLERANCE",
+    "DEFAULT_RESTART_BUDGET",
+    "DEFAULT_THRESHOLD",
+    "PipelineResult",
+    "run_all",
+    "run_stream",
+    "run_system",
+]
 
 
 def run_stream(
@@ -226,394 +95,56 @@ def run_stream(
     whose timestamps run backwards beyond ``reorder_tolerance`` — instead
     of raising.  Without a queue the historical strict behavior holds.
 
-    With a ``checkpointer``, resumable snapshots are taken every
-    ``checkpointer.every`` input records; pass the last snapshot back as
-    ``resume_from`` (with the *same* deterministic stream) after a crash
-    and the run continues without reprocessing, landing byte-identical to
-    an uninterrupted run.
+    With a ``checkpointer``, resumable snapshots are taken at the chosen
+    driver's consistency barrier (serial: every ``checkpointer.every``
+    input records; sharded: batch boundaries; bounded: drained-queue
+    barriers); pass the last snapshot back as ``resume_from`` (with the
+    *same* deterministic stream) after a crash and the run continues
+    without reprocessing, landing byte-identical to an uninterrupted run
+    (bounded: within shedding tolerance).
 
     With ``backpressure`` (a :class:`BackpressureConfig`), the stages run
     behind bounded queues with credit-based flow control and
-    priority-aware load shedding — see :func:`_run_bounded` — and the
-    result carries an :class:`OverloadReport`.
+    priority-aware load shedding — see
+    :class:`~repro.engine.drivers.BoundedDriver` — and the result carries
+    an :class:`~repro.resilience.backpressure.OverloadReport`.
 
     With ``parallel`` (a :class:`ParallelConfig`), tagging fans out to
-    worker processes — see :func:`_run_parallel` — while stats, severity,
-    and the spatio-temporal filter stay the single sequential consumer of
-    the order-preserved merge, so the result is identical to a serial
-    run (the differential suite in ``tests/parallel/`` enforces this).
-    ``parallel`` does not compose with ``backpressure`` or with
-    checkpoint/resume: sharded runs have their own worker-crash retry
-    path, and bounded ticks assume an in-process tag stage.
+    worker processes — see :class:`~repro.engine.drivers.ShardedDriver`
+    — while stats, severity, and the spatio-temporal filter stay the
+    single sequential consumer of the order-preserved merge, so the
+    result is identical to a serial run (the differential suites in
+    ``tests/parallel/`` and ``tests/engine/`` enforce this).  Both knobs
+    compose with each other and with checkpoint/resume; see
+    :data:`repro.engine.capabilities.CAPABILITY_TABLE`.
     """
-    if parallel is not None:
-        if backpressure is not None:
-            raise ValueError(
-                "parallel does not compose with backpressure: bounded "
-                "ticks drive an in-process tag stage"
-            )
-        if checkpointer is not None or resume_from is not None:
-            raise ValueError(
-                "parallel does not compose with checkpoint/resume; "
-                "crashed workers are retried by the shard supervisor "
-                "instead"
-            )
-        return _run_parallel(
-            records, system, threshold=threshold, generated=generated,
-            dead_letters=dead_letters, reorder_tolerance=reorder_tolerance,
-            config=parallel,
-        )
-    if backpressure is not None:
-        return _run_bounded(
-            records, system, threshold=threshold, generated=generated,
-            dead_letters=dead_letters, checkpointer=checkpointer,
-            resume_from=resume_from, reorder_tolerance=reorder_tolerance,
-            config=backpressure,
-        )
-    tagger = Tagger(get_ruleset(system))
-    source = iter(records)
-
-    (stats_collector, stf, report, severity_tab, raw_alerts,
-     filtered_alerts, corrupted, consumed) = _restore_or_init(
-        system, threshold, resume_from, dead_letters, reorder_tolerance
-    )
-    if resume_from is not None:
-        source = islice(source, consumed, None)
-
-    if checkpointer is not None:
-        checkpointer.prime(resume_from)
-
-    def admitted(stream: Iterable[LogRecord]):
-        """Count every input record; quarantine the structurally invalid
-        before they can crash the renderer or the filter."""
-        nonlocal consumed
-        for record in stream:
-            consumed += 1
-            if dead_letters is not None and not _valid_record(record):
-                dead_letters.put(record, REASON_INVALID_RECORD)
-                continue
-            yield record
-
-    def snapshot() -> PipelineCheckpoint:
-        return PipelineCheckpoint(
-            system=system,
-            threshold=threshold,
-            records_consumed=consumed,
-            stats=stats_collector.snapshot(),
-            filter_state=stf.state_dict(),
-            report=copy_report(report),
-            severity=copy_severity(severity_tab),
-            raw_alerts=tuple(raw_alerts),
-            filtered_alerts=tuple(filtered_alerts),
-            corrupted_messages=corrupted,
-            dead_letters=dead_letters.snapshot() if dead_letters else None,
-        )
-
-    for record in stats_collector.observe(admitted(source)):
-        if record.corrupted:
-            corrupted += 1
-        try:
-            alert = tagger.tag(record)
-        except Exception as exc:
-            if dead_letters is None:
-                raise
-            dead_letters.put(record, REASON_TAGGER_ERROR, repr(exc))
-            continue
-        severity_tab.add(record, alert is not None)
-        if alert is not None:
-            try:
-                kept: Optional[bool] = stf.offer(alert)
-            except OutOfOrderError as exc:
-                if dead_letters is None:
-                    raise
-                dead_letters.put(record, REASON_OUT_OF_ORDER, str(exc))
-                kept = None
-            if kept is not None:
-                raw_alerts.append(alert)
-                report.record(alert, kept)
-                if kept:
-                    filtered_alerts.append(alert)
-        if checkpointer is not None:
-            checkpointer.maybe(consumed, snapshot)
-
-    return PipelineResult(
-        system=system,
-        stats=stats_collector.finish(),
-        raw_alerts=raw_alerts,
-        filtered_alerts=filtered_alerts,
-        filter_report=report,
-        severity_tab=severity_tab,
-        corrupted_messages=corrupted,
-        generated=generated,
-        threshold=threshold,
-        dead_letters=dead_letters,
-    )
-
-
-def _run_parallel(
-    records: Iterable[LogRecord],
-    system: str,
-    threshold: float,
-    generated: Optional[GeneratedLog],
-    dead_letters: Optional[DeadLetterQueue],
-    reorder_tolerance: float,
-    config: ParallelConfig,
-) -> PipelineResult:
-    """The sharded-tagging form of :func:`run_stream`.
-
-    Only the tagger — the hot path, where almost every record matches no
-    rule — runs in worker processes.  Everything whose semantics are
-    order-defined stays in the parent, consuming batches in original
-    stream order from the order-preserving merge: Table 2 stats, the
-    severity cross-tab, and above all the spatio-temporal filter, whose
-    Algorithm 3.1 clear-table state is meaningful only over the
-    time-sorted sequence (sharding the *filter* is what Liang et al. do
-    per node partition; sharding the *tagger* under a sequential filter
-    keeps our Algorithm 3.1 semantics untouched).
-
-    Per-record semantics mirror the serial loop exactly: structurally
-    invalid records are quarantined before they are observed, records
-    that crash the rules engine skip the severity tab, and out-of-order
-    alerts quarantine or raise by the same rule.  Without a dead-letter
-    queue, a worker-side tagger error re-raises in the parent as
-    :class:`~repro.parallel.sharded.TaggerErrorReplay` (the original
-    exception object cannot cross the process boundary).
-    """
-    (stats_collector, stf, report, severity_tab, raw_alerts,
-     filtered_alerts, corrupted, consumed) = _restore_or_init(
-        system, threshold, None, dead_letters, reorder_tolerance
-    )
-    source = iter(records)
-
-    def admitted(stream: Iterable[LogRecord]):
-        nonlocal consumed
-        for record in stream:
-            consumed += 1
-            if dead_letters is not None and not _valid_record(record):
-                dead_letters.put(record, REASON_INVALID_RECORD)
-                continue
-            yield record
-
-    with ShardedTagger(system, config) as sharded:
-        batches = chunked(admitted(source), config.batch_size)
-        for batch, outcome in sharded.tag_batches(batches):
-            errors = outcome.error_map()
-            hits = outcome.hit_map()
-            for index, record in enumerate(batch):
-                stats_collector.observe_record(record)
-                if record.corrupted:
-                    corrupted += 1
-                if index in errors:
-                    if dead_letters is None:
-                        raise TaggerErrorReplay(errors[index])
-                    dead_letters.put(
-                        record, REASON_TAGGER_ERROR, errors[index]
-                    )
-                    continue
-                alert = hits.get(index)
-                severity_tab.add(record, alert is not None)
-                if alert is None:
-                    continue
-                try:
-                    kept: Optional[bool] = stf.offer(alert)
-                except OutOfOrderError as exc:
-                    if dead_letters is None:
-                        raise
-                    dead_letters.put(record, REASON_OUT_OF_ORDER, str(exc))
-                    kept = None
-                if kept is not None:
-                    raw_alerts.append(alert)
-                    report.record(alert, kept)
-                    if kept:
-                        filtered_alerts.append(alert)
-        shard_stats = sharded.stats
-
-    return PipelineResult(
-        system=system,
-        stats=stats_collector.finish(),
-        raw_alerts=raw_alerts,
-        filtered_alerts=filtered_alerts,
-        filter_report=report,
-        severity_tab=severity_tab,
-        corrupted_messages=corrupted,
-        generated=generated,
-        threshold=threshold,
-        dead_letters=dead_letters,
-        shard_stats=shard_stats,
-    )
-
-
-def _run_bounded(
-    records: Iterable[LogRecord],
-    system: str,
-    threshold: float,
-    generated: Optional[GeneratedLog],
-    dead_letters: Optional[DeadLetterQueue],
-    checkpointer: Optional[CheckpointManager],
-    resume_from: Optional[PipelineCheckpoint],
-    reorder_tolerance: float,
-    config: BackpressureConfig,
-) -> PipelineResult:
-    """The bounded-memory form of :func:`run_stream`.
-
-    The stages run behind bounded queues — generate/collect -> ``ingest``
-    -> tag -> ``filter`` -> filter/report — driven in ticks: per tick the
-    source offers ``arrival_batch`` records, tagging serves
-    ``service_batch``, filtering serves ``filter_batch``.  A pausable
-    source is slowed by credit-based flow control (nothing lost); an
-    unpausable one goes through the shed policy, which degrades in the
-    paper-aware order: INFO chatter first, duplicate-category alerts
-    next, tagged alerts never — those spill to the dead-letter queue with
-    exact accounting.  Sustained overload (the monitor's high-watermark
-    flag) optionally degrades the run — coarser stats, larger filter
-    ``T`` — instead of growing without bound.
-
-    Checkpoints are taken only at drained-queue barriers, so a resumed
-    bounded run replays cleanly; unlike the unbounded path, shedding
-    makes resumed results equivalent within shedding tolerance rather
-    than byte-identical.
-    """
-    tagger = Tagger(get_ruleset(system))
-    if dead_letters is None:
+    validate_run_config(parallel=parallel, backpressure=backpressure)
+    if backpressure is not None and dead_letters is None:
         # Bounded mode must never lose a tagged alert silently: the spill
         # path needs somewhere accounted to land.
         dead_letters = DeadLetterQueue()
-    window = threshold if config.dedup_window is None else config.dedup_window
-    policy = get_shed_policy(config.shed_policy, dedup_window=window).bind(tagger)
-    accounting = (
-        config.accounting if config.accounting is not None else ShedAccounting()
-    )
-    monitor = (
-        config.monitor if config.monitor is not None
-        else OverloadMonitor(sustain=config.sustain)
-    )
-    ingest_q = monitor.attach(BoundedQueue(
-        "ingest", config.max_buffer, config.watermarks_for(config.max_buffer)
-    ))
-    alert_q = monitor.attach(BoundedQueue(
-        "filter", config.filter_buffer, config.watermarks_for(config.filter_buffer)
-    ))
-    gate = CreditGate(ingest_q)
 
-    (stats_collector, stf, report, severity_tab, raw_alerts,
-     filtered_alerts, corrupted, consumed) = _restore_or_init(
-        system, threshold, resume_from, dead_letters, reorder_tolerance
+    path = AlertPath(
+        system,
+        threshold=threshold,
+        dead_letters=dead_letters,
+        reorder_tolerance=reorder_tolerance,
+        resume_from=resume_from,
     )
     source = iter(records)
     if resume_from is not None:
-        source = islice(source, consumed, None)
+        source = islice(source, path.consumed, None)
     if checkpointer is not None:
         checkpointer.prime(resume_from)
 
-    def snapshot() -> PipelineCheckpoint:
-        return PipelineCheckpoint(
-            system=system,
-            threshold=threshold,
-            records_consumed=consumed,
-            stats=stats_collector.snapshot(),
-            filter_state=stf.state_dict(),
-            report=copy_report(report),
-            severity=copy_severity(severity_tab),
-            raw_alerts=tuple(raw_alerts),
-            filtered_alerts=tuple(filtered_alerts),
-            corrupted_messages=corrupted,
-            dead_letters=dead_letters.snapshot(),
-        )
+    driver = build_driver(parallel=parallel, backpressure=backpressure)
+    report = driver.run(source, path, checkpointer)
 
-    degraded_overload = False
-    exhausted = False
-    while not exhausted or ingest_q or alert_q:
-        # -- arrivals: the source offers a batch; credits pace it --------
-        if not exhausted:
-            want = config.arrival_batch
-            if config.source_pausable:
-                want = gate.acquire(want)
-            arrived = 0
-            for _ in range(want):
-                try:
-                    record = next(source)
-                except StopIteration:
-                    exhausted = True
-                    break
-                consumed += 1
-                arrived += 1
-                if not _valid_record(record):
-                    dead_letters.put(record, REASON_INVALID_RECORD)
-                    continue
-                decision, klass = policy.decide(record, ingest_q.pressure())
-                accounting.count_offered(klass)
-                if decision == SHED:
-                    accounting.count_shed(klass)
-                    continue
-                if decision == SPILL or not ingest_q.put(record):
-                    accounting.count_spilled(klass)
-                    dead_letters.put(record, REASON_SHED_OVERLOAD, klass)
-            monitor.note_throughput("arrive", arrived)
-
-        # -- tag/stats stage: halts when the filter queue is full, which
-        #    is how downstream pressure propagates upstream ---------------
-        served = 0
-        while served < config.service_batch and ingest_q and not alert_q.full:
-            record = ingest_q.get()
-            served += 1
-            stats_collector.observe_record(record)
-            if record.corrupted:
-                corrupted += 1
-            try:
-                alert = tagger.tag(record)
-            except Exception as exc:
-                dead_letters.put(record, REASON_TAGGER_ERROR, repr(exc))
-                continue
-            severity_tab.add(record, alert is not None)
-            if alert is not None:
-                alert_q.put(alert)
-        monitor.note_throughput("tag", served)
-
-        # -- filter stage -------------------------------------------------
-        drained = 0
-        while drained < config.filter_batch and alert_q:
-            alert = alert_q.get()
-            drained += 1
-            try:
-                kept = stf.offer(alert)
-            except OutOfOrderError as exc:
-                dead_letters.put(alert.record, REASON_OUT_OF_ORDER, str(exc))
-                continue
-            raw_alerts.append(alert)
-            report.record(alert, kept)
-            if kept:
-                filtered_alerts.append(alert)
-        monitor.note_throughput("filter", drained)
-
-        # -- overload monitoring and graceful degradation ----------------
-        monitor.sample()
-        if config.degrade and monitor.sustained_overload and not degraded_overload:
-            degraded_overload = True
-            stf.threshold = threshold * config.degrade_threshold_factor
-            if config.degrade_coarse_stats:
-                stats_collector.coarse = True
-            monitor.events.append(
-                f"degraded mode entered: filter T raised to {stf.threshold:g}s"
-                + (", stats coarsened" if config.degrade_coarse_stats else "")
-            )
-        if checkpointer is not None and not ingest_q and not alert_q:
-            checkpointer.maybe(consumed, snapshot)
-
-    return PipelineResult(
-        system=system,
-        stats=stats_collector.finish(),
-        raw_alerts=raw_alerts,
-        filtered_alerts=filtered_alerts,
-        filter_report=report,
-        severity_tab=severity_tab,
-        corrupted_messages=corrupted,
+    return path.result(
         generated=generated,
-        threshold=threshold,
-        dead_letters=dead_letters,
-        overload=OverloadReport.from_parts(
-            monitor=monitor, accounting=accounting, gate=gate,
-            degraded=degraded_overload,
-        ),
+        shard_stats=report.shard_stats,
+        overload=report.overload,
+        checkpoints=checkpointer,
     )
 
 
@@ -625,8 +156,8 @@ def run_system(
     incident_scale: float = 1.0,
     faults=None,
     supervised: bool = False,
-    restart_budget: int = 3,
-    checkpoint_every: int = 2000,
+    restart_budget: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
     backpressure: Optional[BackpressureConfig] = None,
     parallel: Optional[ParallelConfig] = None,
     **generator_kwargs,
@@ -636,42 +167,58 @@ def run_system(
     Pass ``faults`` (a :class:`~repro.resilience.faults.FaultConfig`) or
     ``supervised=True`` to run under the pipeline supervisor: injected or
     real worker failures are caught, the run restarts from the latest
-    checkpoint (at most ``restart_budget`` times), and the result reports
+    checkpoint (at most ``restart_budget`` times, default
+    :data:`DEFAULT_RESTART_BUDGET`), and the result reports
     ``degraded``/dead-letter state instead of raising.
 
-    Pass ``backpressure`` (a :class:`BackpressureConfig`) to run with
-    bounded inter-stage queues and priority-aware load shedding; the two
-    compose — a supervised run can also be bounded.
+    Pass ``checkpoint_every`` to snapshot every N input records whether or
+    not the run is supervised: an unsupervised run attaches a real
+    :class:`CheckpointManager` and exposes it as ``result.checkpoints``
+    (``result.checkpoints.latest`` is the resume point after a crash).
+    ``restart_budget`` without supervision raises — there is nothing to
+    restart — instead of being silently ignored as it historically was.
 
-    Pass ``parallel`` (a :class:`ParallelConfig`) to shard tagging across
-    worker processes with byte-identical output; it does not compose with
-    supervision, backpressure, or checkpointing (sharded runs carry their
-    own worker-crash retry path).
+    ``backpressure``, ``parallel``, supervision, and checkpointing all
+    compose; see :data:`repro.engine.capabilities.CAPABILITY_TABLE` for
+    each combination's checkpoint barrier and equivalence guarantee.
     """
-    if parallel is not None and (faults is not None or supervised):
-        raise ValueError(
-            "parallel does not compose with the checkpoint-based "
-            "supervisor; ShardedTagger retries crashed workers itself"
-        )
+    validate_run_config(
+        parallel=parallel, backpressure=backpressure, faults=faults,
+        supervised=supervised, restart_budget=restart_budget,
+        checkpoint_every=checkpoint_every,
+    )
     if faults is not None or supervised:
         from .resilience.supervisor import PipelineSupervisor
 
         supervisor = PipelineSupervisor(
-            restart_budget=restart_budget, checkpoint_every=checkpoint_every
+            restart_budget=(
+                DEFAULT_RESTART_BUDGET if restart_budget is None
+                else restart_budget
+            ),
+            checkpoint_every=(
+                DEFAULT_CHECKPOINT_EVERY if checkpoint_every is None
+                else checkpoint_every
+            ),
         )
         return supervisor.run_system(
             system, scale=scale, seed=seed, threshold=threshold,
             incident_scale=incident_scale, faults=faults,
-            backpressure=backpressure, **generator_kwargs,
+            backpressure=backpressure, parallel=parallel,
+            **generator_kwargs,
         )
     generator = LogGenerator(
         system, scale=scale, seed=seed, incident_scale=incident_scale,
         **generator_kwargs,
     )
     generated = generator.generate()
+    checkpointer = (
+        CheckpointManager(every=checkpoint_every)
+        if checkpoint_every is not None else None
+    )
     return run_stream(
         generated.records, system, threshold=threshold, generated=generated,
-        backpressure=backpressure, parallel=parallel,
+        checkpointer=checkpointer, backpressure=backpressure,
+        parallel=parallel,
     )
 
 
@@ -681,8 +228,8 @@ def run_all(
     threshold: float = DEFAULT_THRESHOLD,
     faults=None,
     supervised: bool = False,
-    restart_budget: int = 3,
-    checkpoint_every: int = 2000,
+    restart_budget: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
     backpressure: Optional[BackpressureConfig] = None,
     parallel: Optional[ParallelConfig] = None,
     **generator_kwargs,
@@ -694,7 +241,8 @@ def run_all(
     result carries its dead-letter and restart accounting.  With
     ``backpressure``, every system runs bounded; each gets its own queues
     and accounting.  With ``parallel``, every system's tagging is sharded
-    across worker processes (each system gets its own pool).
+    across worker processes (each system gets its own pool).  The knobs
+    compose, per system, exactly as in :func:`run_system`.
     """
     from .systems.specs import SYSTEMS
 

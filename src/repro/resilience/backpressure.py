@@ -142,6 +142,14 @@ class BoundedQueue:
         self.total_out += 1
         return item
 
+    def take(self, n: int) -> List[Any]:
+        """Pop up to ``n`` oldest items as a list (a service-stage drain
+        that hands one tick's worth to a batch consumer)."""
+        out: List[Any] = []
+        while len(out) < n and self._items:
+            out.append(self.get())
+        return out
+
     def pressure(self) -> PressureLevel:
         """Current pressure, with high/low hysteresis."""
         n = len(self._items)

@@ -61,6 +61,10 @@ class PipelineCheckpoint:
     filtered_alerts: Tuple[Alert, ...]
     corrupted_messages: int
     dead_letters: Optional[DeadLetterSnapshot] = None
+    #: The shed policy's duplicate-lookback state (category -> last seen
+    #: timestamp), captured by bounded runs so a resumed policy keeps its
+    #: duplicate memory; ``None`` for unbounded runs.
+    shed_state: Optional[Dict[str, float]] = None
 
     def restore_stats(self) -> StatsCollector:
         """A live stats collector continuing from the snapshot."""

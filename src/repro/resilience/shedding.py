@@ -131,6 +131,15 @@ class ShedPolicy:
             return CLASS_DUPLICATE
         return CLASS_ALERT
 
+    def state_dict(self) -> Dict[str, float]:
+        """The duplicate-lookback state (category -> last seen timestamp),
+        checkpointed by bounded runs so a resumed policy makes the same
+        duplicate calls it would have made uninterrupted."""
+        return dict(self._last_seen)
+
+    def load_state_dict(self, state: Optional[Dict[str, float]]) -> None:
+        self._last_seen = dict(state) if state else {}
+
     def decide(self, record, level: PressureLevel) -> Decision:
         raise NotImplementedError
 

@@ -27,6 +27,7 @@ from ..core.filtering import DEFAULT_THRESHOLD, FilterReport
 from ..analysis.severity_eval import SeverityCrossTab
 from ..logio.stats import StatsCollector
 from ..simulation.generator import LogGenerator
+from ..parallel.config import ParallelConfig
 from .backpressure import BackpressureConfig, OverloadMonitor, OverloadReport
 from .checkpoint import CheckpointManager, PipelineCheckpoint
 from .deadletter import DeadLetterQueue
@@ -60,24 +61,33 @@ class PipelineSupervisor:
         self.checkpoint_every = checkpoint_every
         self.dead_letter_capacity = dead_letter_capacity
 
-    def run_system(
+    def run_records(
         self,
+        source_factory,
         system: str,
-        scale: float = 1e-4,
-        seed: int = 2007,
         threshold: float = DEFAULT_THRESHOLD,
-        incident_scale: float = 1.0,
         faults: Optional[FaultConfig] = None,
         backpressure: Optional[BackpressureConfig] = None,
-        **generator_kwargs,
+        parallel: Optional[ParallelConfig] = None,
     ) -> "_pipeline.PipelineResult":
-        """Run one system to completion under supervision; never raises
-        for worker failures — worst case returns a degraded partial.
+        """Run any replayable record stream to completion under
+        supervision; never raises for worker failures — worst case
+        returns a degraded partial.
+
+        ``source_factory`` is a :data:`~repro.engine.stages.SourceFactory`:
+        each call must re-present the *same* deterministic stream from
+        the beginning (a resumed attempt skips the consumed prefix).
+        Fault mutation is replayed identically per attempt (see
+        :class:`~repro.resilience.faults.FaultPlan`), so a resumed run
+        lands byte-identical to an uninterrupted one.
 
         With ``backpressure``, every attempt runs bounded, and the
         overload monitor and shed accounting are shared across attempts:
         the final (possibly degraded) result reports the whole supervised
-        run's overload behavior, not just the last attempt's.
+        run's overload behavior, not just the last attempt's.  With
+        ``parallel``, every attempt shards tagging across worker
+        processes; the supervisor's checkpoints then sit at the sharded
+        driver's batch barriers.
         """
         plan = FaultPlan(faults) if faults is not None else None
         manager = CheckpointManager(every=self.checkpoint_every)
@@ -90,22 +100,17 @@ class PipelineSupervisor:
             )
         failure_log: List[str] = []
         checkpoint: Optional[PipelineCheckpoint] = None
-        generated = None
 
         for attempt in range(self.restart_budget + 1):
-            generator = LogGenerator(
-                system, scale=scale, seed=seed,
-                incident_scale=incident_scale, **generator_kwargs,
-            )
-            generated = generator.generate()
-            records = generated.records
+            records = source_factory()
             if plan is not None:
                 records = plan.wrap(records)
             try:
                 result = _pipeline.run_stream(
-                    records, system, threshold=threshold, generated=generated,
+                    records, system, threshold=threshold,
                     dead_letters=dead_letters, checkpointer=manager,
                     resume_from=checkpoint, backpressure=backpressure,
+                    parallel=parallel,
                 )
             except Exception as exc:  # worker died: restart from checkpoint
                 failure_log.append(
@@ -122,6 +127,38 @@ class PipelineSupervisor:
             backpressure=backpressure,
         )
 
+    def run_system(
+        self,
+        system: str,
+        scale: float = 1e-4,
+        seed: int = 2007,
+        threshold: float = DEFAULT_THRESHOLD,
+        incident_scale: float = 1.0,
+        faults: Optional[FaultConfig] = None,
+        backpressure: Optional[BackpressureConfig] = None,
+        parallel: Optional[ParallelConfig] = None,
+        **generator_kwargs,
+    ) -> "_pipeline.PipelineResult":
+        """Generate one system's log (afresh per attempt — the generator
+        is deterministic) and run it via :meth:`run_records`."""
+        holder = {}
+
+        def factory():
+            generator = LogGenerator(
+                system, scale=scale, seed=seed,
+                incident_scale=incident_scale, **generator_kwargs,
+            )
+            holder["generated"] = generator.generate()
+            return holder["generated"].records
+
+        result = self.run_records(
+            factory, system, threshold=threshold, faults=faults,
+            backpressure=backpressure, parallel=parallel,
+        )
+        if not result.degraded:
+            result.generated = holder.get("generated")
+        return result
+
     def run_all(
         self,
         scale: float = 1e-4,
@@ -129,6 +166,7 @@ class PipelineSupervisor:
         threshold: float = DEFAULT_THRESHOLD,
         faults: Optional[FaultConfig] = None,
         backpressure: Optional[BackpressureConfig] = None,
+        parallel: Optional[ParallelConfig] = None,
         **generator_kwargs,
     ) -> Dict[str, "_pipeline.PipelineResult"]:
         """All five systems, each supervised independently: one system
@@ -138,7 +176,8 @@ class PipelineSupervisor:
         return {
             name: self.run_system(
                 name, scale=scale, seed=seed, threshold=threshold,
-                faults=faults, backpressure=backpressure, **generator_kwargs,
+                faults=faults, backpressure=backpressure, parallel=parallel,
+                **generator_kwargs,
             )
             for name in SYSTEMS
         }

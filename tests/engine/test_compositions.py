@@ -1,0 +1,173 @@
+"""The composition matrix: every driver combination against the serial
+baseline, over the full golden corpus.
+
+This is the acceptance suite for the stage engine: {serial, sharded}
+execution crossed with {plain, checkpoint + crash + resume, backpressure,
+supervised + injected faults} must reproduce the serial reference output
+exactly — same alerts in the same order, same volume statistics down to
+the compressed byte, same severity cross-tabs.  (Bounded runs here use
+pausable sources and roomy buffers, so the shedding tolerance the
+capability table documents collapses to exact equality; the shedding
+behavior itself is covered in ``tests/resilience/``.)
+
+Before the engine, three of these eight cells were unreachable —
+``run_stream`` refused parallel x checkpoint and parallel x backpressure
+outright — so this file is also the regression net for the compositions
+the refactor made legal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import pipeline
+from repro.parallel.config import ParallelConfig
+from repro.resilience.backpressure import BackpressureConfig
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.faults import FaultConfig
+from repro.resilience.supervisor import PipelineSupervisor
+
+from .conftest import ALL_SYSTEMS, assert_equivalent
+
+CHECKPOINT_EVERY = 50
+
+
+class MidStreamCrash(Exception):
+    pass
+
+
+def crash_after(records, at):
+    """Re-present ``records`` but die after ``at`` of them."""
+    for index, record in enumerate(records):
+        if index == at:
+            raise MidStreamCrash(f"injected crash at record {at}")
+        yield record
+
+
+def parallel_config(env_workers):
+    return ParallelConfig(workers=env_workers, batch_size=64)
+
+
+def drivers(env_workers):
+    return {"serial": None, "sharded": parallel_config(env_workers)}
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+class TestCompositionMatrix:
+    def test_plain(self, system, golden_records, serial_baselines,
+                   env_workers):
+        for name, parallel in drivers(env_workers).items():
+            result = pipeline.run_stream(
+                iter(golden_records[system]), system, parallel=parallel,
+            )
+            assert_equivalent(result, serial_baselines[system])
+            if name == "sharded":
+                assert result.shard_stats is not None
+                assert result.shard_stats.records == len(
+                    golden_records[system]
+                )
+
+    def test_checkpoint_crash_resume(self, system, golden_records,
+                                     serial_baselines, env_workers):
+        records = golden_records[system]
+        crash_at = max(CHECKPOINT_EVERY + 1, (len(records) * 2) // 3)
+        for parallel in drivers(env_workers).values():
+            manager = CheckpointManager(every=CHECKPOINT_EVERY)
+            with pytest.raises(MidStreamCrash):
+                pipeline.run_stream(
+                    crash_after(records, crash_at), system,
+                    checkpointer=manager, parallel=parallel,
+                )
+            assert manager.latest is not None
+            assert 0 < manager.latest.records_consumed <= crash_at
+            resumed = pipeline.run_stream(
+                iter(records), system, parallel=parallel,
+                checkpointer=manager, resume_from=manager.latest,
+            )
+            assert_equivalent(resumed, serial_baselines[system])
+
+    def test_backpressure(self, system, golden_records, serial_baselines,
+                          env_workers):
+        for parallel in drivers(env_workers).values():
+            result = pipeline.run_stream(
+                iter(golden_records[system]), system,
+                backpressure=BackpressureConfig(),
+                parallel=parallel,
+            )
+            assert_equivalent(result, serial_baselines[system])
+            assert result.overload is not None
+            # Pausable source + roomy buffers: exact, nothing lost.
+            assert result.overload.total_shed == 0
+            assert result.overload.total_spilled == 0
+            assert result.dead_letter_count == 0
+
+    def test_supervised_faults(self, system, golden_records,
+                               serial_baselines, env_workers):
+        records = golden_records[system]
+        crash_at = max(CHECKPOINT_EVERY + 1, (len(records) * 2) // 3)
+        for parallel in drivers(env_workers).values():
+            supervisor = PipelineSupervisor(
+                restart_budget=2, checkpoint_every=CHECKPOINT_EVERY,
+            )
+            result = supervisor.run_records(
+                lambda: list(records), system,
+                faults=FaultConfig.crash_only(at=crash_at),
+                parallel=parallel,
+            )
+            assert not result.degraded
+            assert result.restarts == 1
+            assert_equivalent(result, serial_baselines[system])
+
+
+class TestRunSystemKnobs:
+    """The satellite bugfix: ``run_system`` checkpoint/restart knobs are
+    either wired or refused — never silently ignored."""
+
+    def test_unsupervised_checkpointing_is_real(self, liberty_result):
+        result = pipeline.run_system(
+            "liberty", scale=2e-5, seed=20070625, checkpoint_every=500,
+        )
+        assert result.checkpoints is not None
+        assert result.checkpoints.taken > 0
+        assert result.checkpoints.latest is not None
+        assert result.checkpoints.latest.records_consumed > 0
+        assert_equivalent(result, liberty_result)
+
+    def test_unsupervised_restart_budget_refused(self):
+        with pytest.raises(ValueError, match="restart_budget"):
+            pipeline.run_system(
+                "liberty", scale=2e-5, seed=20070625, restart_budget=2,
+            )
+
+    def test_supervised_parallel_composes(self, env_workers):
+        result = pipeline.run_system(
+            "liberty", scale=2e-5, seed=20070625,
+            faults=FaultConfig.crash_only(at=1500),
+            parallel=parallel_config(env_workers),
+        )
+        assert not result.degraded
+        assert result.restarts == 1
+        assert result.shard_stats is not None
+
+    def test_bounded_resume_keeps_shed_policy_state(self, golden_records):
+        """The bounded driver checkpoints the shed policy's duplicate
+        lookback, so a resumed policy remembers what it has seen."""
+        system = ALL_SYSTEMS[0]
+        records = golden_records[system]
+        crash_at = max(CHECKPOINT_EVERY + 1, (len(records) * 2) // 3)
+        manager = CheckpointManager(every=CHECKPOINT_EVERY)
+        with pytest.raises(MidStreamCrash):
+            pipeline.run_stream(
+                crash_after(records, crash_at), system,
+                checkpointer=manager, backpressure=BackpressureConfig(),
+            )
+        assert manager.latest is not None
+        assert manager.latest.shed_state is not None
+        resumed = pipeline.run_stream(
+            iter(records), system, resume_from=manager.latest,
+            backpressure=BackpressureConfig(),
+        )
+        baseline = pipeline.run_stream(
+            iter(records), system, backpressure=BackpressureConfig(),
+        )
+        assert_equivalent(resumed, baseline)
