@@ -1,76 +1,137 @@
 #!/usr/bin/env python
-"""Live monitoring: what a RAS daemon built on this library would do.
+"""Live monitoring: the operator console of a running ingest service.
 
-Replays a generated BG/L log through the online :class:`LogMonitor` —
-record-at-a-time tagging, streaming Algorithm 3.1 deduplication, storm
-notifications, and operational-context disambiguation — and prints the
-operator console a sysadmin would actually watch, instead of the raw
-firehose (Section 5, "Detect Faults").
+What a RAS daemon built on this library looks like in operation
+(Section 5, "Detect Faults") — but instead of replaying one stream
+through an in-process monitor, this drives the real multi-tenant
+:class:`~repro.service.IngestService`: three tenant racks stream their
+native logs over loopback TCP, one of them crashes its worker
+periodically (absorbed by the per-tenant restart budget), and the
+console polls the live stats endpoint — the same one ``repro stats``
+queries — to render what a sysadmin would watch.
 
 Usage::
 
-    python examples/live_monitor.py [scale]
+    python examples/live_monitor.py [--seconds 6] [--scale 2e-4]
 """
 
+import argparse
+import asyncio
 import sys
-import time
 
-from repro.core.monitor import Disposition, LogMonitor
-from repro.core.rules import get_ruleset
+from repro.logio.writer import renderer_for
+from repro.service import IngestService, ServiceConfig, query_stats
+from repro.service.router import format_envelope
 from repro.simulation.generator import generate_log
 
-#: BG/L categories whose meaning flips with operational state.
-AMBIGUOUS = ("MASNORM", "KERNFSHUT")
+#: (tenant, dialect) streams; rack-c is the one that crashes.
+TENANTS = (
+    ("rack-a", "bgl"),
+    ("rack-b", "liberty"),
+    ("rack-c", "spirit"),
+)
 
 
-def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1e-3
+def crash_schedule(tenant_id, record):
+    """Crash rack-c's worker roughly every 400 records."""
+    crash_schedule.seen = getattr(crash_schedule, "seen", 0)
+    if tenant_id == "rack-c":
+        crash_schedule.seen += 1
+        if crash_schedule.seen % 400 == 0:
+            raise RuntimeError("injected rack-c fault")
 
-    print(f"Replaying a BG/L log (scale {scale:g}) through the online "
-          "monitor ...\n")
-    generated = generate_log("bgl", scale=scale, seed=2007)
-    monitor = LogMonitor(
-        get_ruleset("bgl"),
-        timeline=generated.timeline,
-        ambiguous_categories=AMBIGUOUS,
-        storm_threshold=50,
+
+async def feed(service, tenant, system, scale, seconds):
+    """Stream one tenant's generated log over TCP, paced to ~seconds."""
+    render = renderer_for(system)
+    lines = [
+        format_envelope(tenant, system, render(record))
+        for record in generate_log(system, scale=scale, seed=2007).records
+    ]
+    _, writer = await asyncio.open_connection("127.0.0.1", service.tcp_port)
+    chunk = max(1, len(lines) // max(1, int(seconds / 0.05)))
+    for start in range(0, len(lines), chunk):
+        for line in lines[start:start + chunk]:
+            writer.write(line.encode() + b"\n")
+        await writer.drain()
+        await asyncio.sleep(0.05)
+    writer.close()
+    await writer.wait_closed()
+    return len(lines)
+
+
+async def console(service, seconds):
+    """Poll the stats endpoint and render the operator view."""
+    loop = asyncio.get_running_loop()
+    ticks = max(1, int(seconds / 0.5))
+    for _ in range(ticks):
+        await asyncio.sleep(0.5)
+        stats = await loop.run_in_executor(
+            None, query_stats, "127.0.0.1", service.stats_port, "stats"
+        )
+        print(f"-- state={stats['state']} "
+              f"tenants={stats['router']['tenants_live']} "
+              f"queued={stats['router']['total_queued']} "
+              f"pressure={stats['router']['governor']['level']}")
+        for tenant_id in sorted(stats["tenants"]):
+            row = stats["tenants"][tenant_id]
+            print(f"   {tenant_id:<8} {row['system']:<11} "
+                  f"recv={row['received']:>7,} "
+                  f"alerts={row['alerts_raw']:>5,} "
+                  f"kept={row['alerts_filtered']:>4,} "
+                  f"q={row['queue_depth']:>4} "
+                  f"crashes={row['crashes']} "
+                  f"breaker={row['breaker']}")
+
+
+async def main_async(args):
+    service = IngestService(ServiceConfig(
+        fault_hook=crash_schedule,
+        restart_budget=1_000_000,  # absorb every injected fault
+        housekeeping_interval=0.1,
+    ))
+    await service.start()
+    print(f"ingest service up: tcp={service.tcp_port} "
+          f"stats={service.stats_port}\n")
+
+    feeders = [
+        feed(service, tenant, system, args.scale, args.seconds)
+        for tenant, system in TENANTS
+    ]
+    results = await asyncio.gather(
+        console(service, args.seconds), *feeders
     )
+    await service.drain()
 
-    shown = 0
-    for event in monitor.run(generated.records):
-        if shown < 25 or event.disposition is not Disposition.PAGE:
-            stamp = time.strftime(
-                "%Y-%m-%d %H:%M:%S", time.gmtime(event.timestamp)
-            )
-            marker = {
-                Disposition.PAGE: "PAGE ",
-                Disposition.STORM: "STORM",
-                Disposition.LOG_ONLY: "log  ",
-                Disposition.REVIEW: "revw ",
-            }[event.disposition]
-            extra = (
-                f" (+{event.suppressed_count} suppressed)"
-                if event.suppressed_count
-                else ""
-            )
-            print(f"[{stamp}] {marker} {event.category:<10} "
-                  f"{event.source:<16} {event.message[:48]}{extra}")
-            shown += 1
-        if shown == 25:
-            print("  ... (pages elided; storms and context events still "
-                  "shown) ...")
-            shown += 1
+    report = service.final_report()
+    print("\ndrained; final per-tenant accounting:")
+    violations = 0
+    for tenant, system in TENANTS:
+        row = report[tenant]
+        ok = row["conserves"]
+        violations += 0 if ok else 1
+        print(f"   {tenant:<8} received={row['received']:>7,} "
+              f"processed={row['processed']:>7,} "
+              f"alerts={row['alerts_raw']:>5,} "
+              f"crashes={row['crashes']} "
+              f"dead-lettered={row['dead_letter_total']} "
+              f"{'conserved' if ok else 'CONSERVATION VIOLATED'}")
+    sent = sum(results[1:])
+    print(f"\n{sent:,} lines streamed over TCP; "
+          f"rack-c absorbed {report['rack-c']['crashes']} injected "
+          "crashes without touching the other racks")
+    return 1 if violations else 0
 
-    stats = monitor.stats
-    print()
-    print(f"records seen:     {stats.records_seen:,}")
-    print(f"alerts tagged:    {stats.alerts_tagged:,}")
-    print(f"operator events:  {stats.events_emitted:,} "
-          f"({stats.pages:,} pages, {stats.storms:,} storm notices)")
-    noise_reduction = 1 - stats.events_emitted / max(stats.alerts_tagged, 1)
-    print(f"console noise cut by {noise_reduction:.1%} relative to "
-          "paging every alert")
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seconds", type=float, default=6.0,
+                        help="approximate run length")
+    parser.add_argument("--scale", type=float, default=2e-4,
+                        help="generated log scale per tenant")
+    args = parser.parse_args()
+    return asyncio.run(main_async(args))
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""CI perf gate: replay the engine driver matrix against the committed
+baseline and fail on a >20% records/s regression.
+
+Re-runs the exact ``BENCH_engine.json`` workload — the 1M-record
+synthetic Liberty stream through every engine driver — and compares each
+driver's throughput to the committed baseline *after normalizing for
+host speed*: CI runners differ from the machine that recorded the
+baseline, so the serial driver's measured/baseline ratio is used as the
+host factor, and every other driver must reach
+
+    baseline_records_per_sec * host_factor * (1 - TOLERANCE)
+
+That makes the gate sensitive to *relative* regressions (a driver
+getting slower than the engine around it) while staying robust to
+runner speed.  Two backstops still catch engine-wide rot: the serial
+driver itself must reach an absolute floor (a generous fraction of
+baseline — CI runners are not 3x slower than the recording host), and
+every driver must stay output-equivalent to serial before its number
+counts (a fast wrong pipeline is not a result).
+
+Exit 1 on any violated floor, any equivalence break, or a baseline/
+matrix mismatch (a driver added to the engine but missing from the
+committed baseline must be benchmarked, not silently skipped).
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_gate.py [--records N] [--tolerance F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "scripts"))
+
+import bench_report  # noqa: E402
+
+BASELINE = REPO / "benchmarks" / "output" / "BENCH_engine.json"
+
+#: Allowed relative regression per driver after host normalization.
+TOLERANCE = 0.20
+
+#: The serial driver must reach this fraction of the baseline's absolute
+#: records/s — loose enough for slower CI runners, tight enough that an
+#: engine-wide collapse cannot hide inside the host factor.
+SERIAL_ABSOLUTE_FLOOR = 0.35
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=None,
+                        help="stream length (default: the baseline's)")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count (default: the baseline's)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(BASELINE.read_text())
+    records_n = args.records or baseline["records"]
+    workers = args.workers or baseline["workers"]
+    by_driver = {row["driver"]: row for row in baseline["drivers"]}
+    if "serial" not in by_driver:
+        print("FAIL: baseline has no serial row to normalize against")
+        return 1
+
+    print(f"perf gate: {records_n:,} records, workers={workers}, "
+          f"tolerance {args.tolerance:.0%} "
+          f"(baseline: {BASELINE.relative_to(REPO)})")
+    records = bench_report.synthetic_stream(records_n)
+    configs = bench_report.engine_driver_configs(workers)
+
+    # The gate must cover exactly the benchmarked matrix: a new driver
+    # config without a committed baseline row is itself a failure.
+    missing = sorted(set(configs) - set(by_driver))
+    if missing:
+        print(f"FAIL: drivers missing from committed baseline: {missing} "
+              "(run scripts/bench_report.py --engine and commit)")
+        return 1
+
+    serial_result, serial_seconds = bench_report.timed_run(
+        records, *configs.pop("serial")
+    )
+    serial_sig = bench_report.signature(serial_result)
+    measured = {"serial": len(records) / serial_seconds}
+    host_factor = measured["serial"] / by_driver["serial"]["records_per_sec"]
+    print(f"  serial: {measured['serial']:>10,.0f} rec/s "
+          f"(host factor {host_factor:.2f}x baseline)")
+
+    failures = []
+    absolute_floor = (
+        by_driver["serial"]["records_per_sec"] * SERIAL_ABSOLUTE_FLOOR
+    )
+    if measured["serial"] < absolute_floor:
+        failures.append(
+            f"serial throughput {measured['serial']:,.0f} rec/s below the "
+            f"absolute floor {absolute_floor:,.0f} "
+            f"({SERIAL_ABSOLUTE_FLOOR:.0%} of baseline)"
+        )
+
+    for driver, (parallel, backpressure) in sorted(configs.items()):
+        result, seconds = bench_report.timed_run(
+            records, parallel, backpressure
+        )
+        rate = len(records) / seconds
+        measured[driver] = rate
+        if bench_report.signature(result) != serial_sig:
+            failures.append(f"{driver}: output diverged from serial")
+            continue
+        floor = (
+            by_driver[driver]["records_per_sec"]
+            * host_factor * (1.0 - args.tolerance)
+        )
+        verdict = "ok" if rate >= floor else "REGRESSION"
+        print(f"  {driver:<16} {rate:>10,.0f} rec/s "
+              f"(floor {floor:>10,.0f})  {verdict}")
+        if rate < floor:
+            failures.append(
+                f"{driver}: {rate:,.0f} rec/s < normalized floor "
+                f"{floor:,.0f} (baseline "
+                f"{by_driver[driver]['records_per_sec']:,.0f} "
+                f"x host {host_factor:.2f} x {1 - args.tolerance:.2f})"
+            )
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} perf-gate violations")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: all drivers within tolerance of the committed baseline, "
+          "outputs equivalent to serial")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,7 @@ from . import (
     prediction,
     reporting,
     resilience,
+    service,
     simulation,
     systems,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "prediction",
     "reporting",
     "resilience",
+    "service",
     "simulation",
     "systems",
     "__version__",

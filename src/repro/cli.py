@@ -194,6 +194,65 @@ def cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .service import IngestService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        tcp_port=args.tcp_port,
+        udp_port=args.udp_port,
+        stats_port=args.stats_port,
+        enable_udp=not args.no_udp,
+        year=args.year,
+        threshold=args.threshold,
+        max_buffer=args.max_buffer,
+        shed_policy=args.shed_policy,
+        restart_budget=args.restart_budget,
+        idle_ttl=args.idle_ttl,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def _run() -> dict:
+        service = IngestService(config)
+        await service.start()
+        print(
+            f"ingest service listening: tcp={service.tcp_port} "
+            f"udp={service.udp_port or '-'} stats={service.stats_port}",
+            file=sys.stderr,
+        )
+        print("send SIGTERM (or Ctrl-C) to drain and exit", file=sys.stderr)
+        await service.run_until_stopped()
+        return service.final_report()
+
+    report = asyncio.run(_run())
+    print(json.dumps(report, indent=2, default=str))
+    service_row = report.get("_service", {})
+    tenants = {k: v for k, v in report.items() if k != "_service"}
+    broken = [
+        tid for tid, row in tenants.items() if not row.get("conserves", True)
+    ]
+    print(
+        f"drained: {len(tenants)} tenants, "
+        f"{service_row.get('lines_seen', 0):,} lines seen, "
+        f"{len(broken)} conservation violations",
+        file=sys.stderr,
+    )
+    return 1 if broken else 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import query_stats
+
+    response = query_stats(args.host, args.port, args.query)
+    print(json.dumps(response, indent=2, default=str))
+    return 1 if "error" in response else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -283,6 +342,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_mine.add_argument("--min-support", type=int, default=10)
     p_mine.add_argument("--top", type=int, default=15)
     p_mine.set_defaults(func=cmd_mine)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived multi-tenant ingest service",
+        epilog="wire protocol: one '@tenant:system <native line>' per "
+               "TCP line or UDP datagram.\nexecution drivers:\n  "
+               + "\n  ".join(capability_lines()),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--tcp-port", type=int, default=0,
+                         help="TCP syslog port (0 = ephemeral)")
+    p_serve.add_argument("--udp-port", type=int, default=0,
+                         help="UDP syslog port (0 = ephemeral)")
+    p_serve.add_argument("--stats-port", type=int, default=0,
+                         help="stats endpoint port (0 = ephemeral)")
+    p_serve.add_argument("--no-udp", action="store_true",
+                         help="disable the UDP listener")
+    p_serve.add_argument("--year", type=int, default=2005)
+    p_serve.add_argument("--threshold", type=float, default=5.0)
+    p_serve.add_argument("--max-buffer", type=int, default=1024,
+                         help="per-tenant ingest queue capacity")
+    p_serve.add_argument("--shed-policy", choices=sorted(SHED_POLICIES),
+                         default="priority")
+    p_serve.add_argument("--restart-budget", type=int, default=3,
+                         help="worker crashes tolerated per tenant before "
+                              "quarantine")
+    p_serve.add_argument("--idle-ttl", type=float, default=300.0,
+                         help="seconds of tenant quiet before eviction "
+                              "(checkpoint handoff)")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_stats = sub.add_parser(
+        "stats", help="query a running ingest service's stats endpoint"
+    )
+    p_stats.add_argument("--host", default="127.0.0.1")
+    p_stats.add_argument("--port", type=int, required=True)
+    p_stats.add_argument("query", nargs="?", default="stats",
+                         help="'stats', 'health', 'tenant <id>', or "
+                              "'alerts <id> [n]' (quote multi-word queries)")
+    p_stats.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -20,7 +20,13 @@ serial                    every record       (reference)
 sharded                   batch boundary     byte-identical
 bounded                   drained queues     shedding tolerance
 bounded-sharded           drained queues     shedding tolerance
+service                   drained queues     shedding tolerance
 ========================  =================  ====================
+
+The ``service`` row is not selected by :func:`build_driver` — it is the
+long-lived multi-tenant daemon (``repro serve``), which runs one
+shedding-tolerant path *per tenant* and checkpoints each tenant at its
+own drained-queue barrier.
 """
 
 from __future__ import annotations
@@ -84,6 +90,12 @@ CAPABILITY_TABLE = {
             checkpoint_barrier="drained-queues",
             equivalence=SHED_TOLERANCE,
             notes="bounded ingest feeding the sharded tagger's window",
+        ),
+        DriverCapabilities(
+            name="service",
+            checkpoint_barrier="drained-queues",
+            equivalence=SHED_TOLERANCE,
+            notes="long-lived multi-tenant ingest; per-tenant isolation",
         ),
     )
 }

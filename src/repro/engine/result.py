@@ -19,7 +19,7 @@ from ..analysis.severity_eval import SeverityCrossTab
 from ..logio.stats import LogStats
 from ..parallel.sharded import ShardStats
 from ..resilience.backpressure import OverloadReport
-from ..resilience.deadletter import DeadLetterQueue
+from ..resilience.deadletter import DeadLetterQueue, DeadLetterSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..resilience.checkpoint import CheckpointManager
@@ -49,6 +49,13 @@ class PipelineResult:
     #: asked for unsupervised checkpointing (``run_system(checkpoint_every=
     #: ...)``); ``checkpoints.latest`` is the resume point after a crash.
     checkpoints: Optional["CheckpointManager"] = None
+    #: Dead-letter accounting as it stood the moment the supervisor's
+    #: restart budget ran out — *before* the degraded result rolled the
+    #: queue back to the last checkpoint.  Quarantines that happened
+    #: during failed attempts (after the final checkpoint) are only here,
+    #: so post-mortem conservation checks reconcile against this snapshot,
+    #: not against ``dead_letters``.
+    final_dead_letters: Optional[DeadLetterSnapshot] = None
 
     @property
     def message_count(self) -> int:
@@ -101,5 +108,15 @@ class PipelineResult:
             lines.append(
                 "degraded:          yes (restart budget exhausted; "
                 "counts cover the stream up to the last checkpoint)"
+            )
+        if self.final_dead_letters is not None:
+            final = self.final_dead_letters
+            reasons = ", ".join(
+                f"{reason}: {count}" for reason, count in final.by_reason
+            )
+            lines.append(
+                f"final dead-letter accounting (at exhaustion): "
+                f"{final.quarantined} quarantined"
+                + (f" ({reasons})" if reasons else "")
             )
         return "\n".join(lines)

@@ -16,6 +16,7 @@ checkpoint subsystem can include quarantine state in a resumable snapshot.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterator, Optional, Tuple
@@ -30,6 +31,10 @@ REASON_OUT_OF_ORDER = "out-of-order"
 REASON_CIRCUIT_OPEN = "circuit-open"
 REASON_RETRIES_EXHAUSTED = "retries-exhausted"
 REASON_SHED_OVERLOAD = "shed-overload"
+#: Reasons used by the multi-tenant ingest service (:mod:`repro.service`).
+REASON_WORKER_CRASH = "worker-crash"
+REASON_TENANT_QUARANTINED = "tenant-quarantined"
+REASON_UNROUTABLE = "unroutable"
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,12 @@ class DeadLetterSnapshot:
 class DeadLetterQueue:
     """A bounded quarantine: newest ``capacity`` letters, exact counters.
 
+    Safe for concurrent :meth:`put`/:meth:`snapshot` from multiple threads
+    (and, trivially, from interleaved asyncio tasks): the ingest service
+    multiplexes per-run objects like this one across many tenant tasks,
+    and the conservation accounting is only meaningful if the counters
+    stay exact under that interleaving.
+
     Parameters
     ----------
     capacity:
@@ -71,18 +82,22 @@ class DeadLetterQueue:
         self.by_reason: Dict[str, int] = {}
         self.evicted_counts: Dict[str, int] = {}
         self._letters: Deque[DeadLetter] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
 
     def put(self, record: LogRecord, reason: str, detail: str = "") -> None:
         """Quarantine one record under ``reason``."""
-        self.quarantined += 1
-        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
-        if len(self._letters) == self.capacity:
-            evicted = self._letters[0]
-            self.evicted += 1
-            self.evicted_counts[evicted.reason] = (
-                self.evicted_counts.get(evicted.reason, 0) + 1
+        with self._lock:
+            self.quarantined += 1
+            self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+            if len(self._letters) == self.capacity:
+                evicted = self._letters[0]
+                self.evicted += 1
+                self.evicted_counts[evicted.reason] = (
+                    self.evicted_counts.get(evicted.reason, 0) + 1
+                )
+            self._letters.append(
+                DeadLetter(record=record, reason=reason, detail=detail)
             )
-        self._letters.append(DeadLetter(record=record, reason=reason, detail=detail))
 
     def __len__(self) -> int:
         return len(self._letters)
@@ -96,31 +111,33 @@ class DeadLetterQueue:
 
     def snapshot(self) -> DeadLetterSnapshot:
         """An immutable copy of the current state."""
-        return DeadLetterSnapshot(
-            letters=tuple(self._letters),
-            by_reason=tuple(sorted(self.by_reason.items())),
-            quarantined=self.quarantined,
-            evicted=self.evicted,
-            evicted_counts=tuple(sorted(self.evicted_counts.items())),
-        )
+        with self._lock:
+            return DeadLetterSnapshot(
+                letters=tuple(self._letters),
+                by_reason=tuple(sorted(self.by_reason.items())),
+                quarantined=self.quarantined,
+                evicted=self.evicted,
+                evicted_counts=tuple(sorted(self.evicted_counts.items())),
+            )
 
     def restore(self, snapshot: Optional[DeadLetterSnapshot]) -> None:
         """Reset this queue to a previously taken snapshot.
 
         ``None`` resets to empty — the state before any snapshot existed.
         """
-        self._letters.clear()
-        self.by_reason = {}
-        self.evicted_counts = {}
-        if snapshot is None:
-            self.quarantined = 0
-            self.evicted = 0
-            return
-        self._letters.extend(snapshot.letters)
-        self.by_reason = dict(snapshot.by_reason)
-        self.quarantined = snapshot.quarantined
-        self.evicted = snapshot.evicted
-        self.evicted_counts = dict(snapshot.evicted_counts)
+        with self._lock:
+            self._letters.clear()
+            self.by_reason = {}
+            self.evicted_counts = {}
+            if snapshot is None:
+                self.quarantined = 0
+                self.evicted = 0
+                return
+            self._letters.extend(snapshot.letters)
+            self.by_reason = dict(snapshot.by_reason)
+            self.quarantined = snapshot.quarantined
+            self.evicted = snapshot.evicted
+            self.evicted_counts = dict(snapshot.evicted_counts)
 
     def summary(self) -> str:
         """One line: total plus per-reason counts, stable order."""

@@ -26,6 +26,7 @@ into accounted loss).  All decisions and their outcomes are counted in
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple, Union
 
 from .backpressure import KEEP, SHED, SPILL, PressureLevel
@@ -51,15 +52,21 @@ class ShedAccounting:
         self.offered: Dict[str, int] = {}
         self.shed: Dict[str, int] = {}
         self.spilled: Dict[str, int] = {}
+        # Counter updates are read-modify-write; keep them exact when one
+        # accounting object is shared across threads or tenant tasks.
+        self._lock = threading.Lock()
 
     def count_offered(self, klass: str) -> None:
-        self.offered[klass] = self.offered.get(klass, 0) + 1
+        with self._lock:
+            self.offered[klass] = self.offered.get(klass, 0) + 1
 
     def count_shed(self, klass: str) -> None:
-        self.shed[klass] = self.shed.get(klass, 0) + 1
+        with self._lock:
+            self.shed[klass] = self.shed.get(klass, 0) + 1
 
     def count_spilled(self, klass: str) -> None:
-        self.spilled[klass] = self.spilled.get(klass, 0) + 1
+        with self._lock:
+            self.spilled[klass] = self.spilled.get(klass, 0) + 1
 
     @property
     def total_offered(self) -> int:
@@ -113,6 +120,12 @@ class ShedPolicy:
         self.dedup_window = dedup_window
         self._tagger = None
         self._last_seen: Dict[str, float] = {}
+        # The duplicate-lookback table is read-modify-written per record;
+        # the ingest service multiplexes policies across tenant tasks (and
+        # tests hammer one from threads), so the update must be atomic.
+        # The regex match stays outside the lock — it touches no policy
+        # state and is the expensive part.
+        self._lock = threading.Lock()
 
     def bind(self, tagger) -> "ShedPolicy":
         """Attach the system's tagger used for classification."""
@@ -125,8 +138,9 @@ class ShedPolicy:
         category = self._tagger.match(record)
         if category is None:
             return CLASS_CHATTER
-        last = self._last_seen.get(category.name)
-        self._last_seen[category.name] = record.timestamp
+        with self._lock:
+            last = self._last_seen.get(category.name)
+            self._last_seen[category.name] = record.timestamp
         if last is not None and 0 <= record.timestamp - last < self.dedup_window:
             return CLASS_DUPLICATE
         return CLASS_ALERT
@@ -135,10 +149,12 @@ class ShedPolicy:
         """The duplicate-lookback state (category -> last seen timestamp),
         checkpointed by bounded runs so a resumed policy makes the same
         duplicate calls it would have made uninterrupted."""
-        return dict(self._last_seen)
+        with self._lock:
+            return dict(self._last_seen)
 
     def load_state_dict(self, state: Optional[Dict[str, float]]) -> None:
-        self._last_seen = dict(state) if state else {}
+        with self._lock:
+            self._last_seen = dict(state) if state else {}
 
     def decide(self, record, level: PressureLevel) -> Decision:
         raise NotImplementedError

@@ -192,7 +192,20 @@ class PipelineSupervisor:
         backpressure: Optional[BackpressureConfig] = None,
     ) -> "_pipeline.PipelineResult":
         """The partial result covering the stream up to the last
-        checkpoint (or nothing, if the worker never survived one)."""
+        checkpoint (or nothing, if the worker never survived one).
+
+        The dead-letter queue is about to be rolled back to the
+        checkpoint; quarantines from the failed attempts after that point
+        would otherwise exist only in the result the crash destroyed.
+        Snapshot the live accounting *first* and carry it on the degraded
+        result (``final_dead_letters``), so post-mortem conservation
+        checks can still reconcile every record the run refused.
+        """
+        final_dead_letters = dead_letters.snapshot()
+        failure_log.append(
+            "final dead-letter accounting at budget exhaustion: "
+            + dead_letters.summary()
+        )
         if checkpoint is not None:
             stats = checkpoint.restore_stats().finish()
             report = checkpoint.restore_report()
@@ -229,5 +242,6 @@ class PipelineSupervisor:
             restarts=self.restart_budget,
             failure_log=failure_log,
             overload=overload,
+            final_dead_letters=final_dead_letters,
         )
         return result

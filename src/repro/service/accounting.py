@@ -1,0 +1,84 @@
+"""Per-tenant conservation accounting: nothing leaves without a count.
+
+The soak harness's headline invariant — *every generated tagged alert is
+reported, dead-lettered, or attributed to a counted shed* — is only
+checkable if the service maintains a complete partition of everything it
+received.  :class:`TenantCounters` is that partition:
+
+``received == shed + refused + processed + queue_depth``
+
+* **shed** — dropped at the queue door by the shed policy, counted per
+  class (chatter first, duplicates under CRITICAL; tagged alerts never);
+* **refused** — dead-lettered *before* reaching the tenant's
+  :class:`AlertPath`: spills under pressure, circuit-breaker rejections,
+  quarantined-tenant arrivals, and the poison record of a worker crash.
+  Refusals of records any rule would tag are additionally counted in
+  ``refused_tagged`` so tagged-alert conservation stays exact;
+* **processed** — consumed by the path, which internally accounts every
+  record (alert reported, chatter observed, or dead-lettered with an
+  in-path reason: invalid / tagger-error / out-of-order).
+
+Alert-side counters (``alerts_raw`` / ``alerts_filtered``) are
+monotonic journal counts incremented at emit time by the service sink —
+they survive crash-restores of path state, so a restart can never
+un-report an alert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TenantCounters:
+    """Monotonic per-tenant counters; the authority for conservation."""
+
+    received: int = 0          #: lines routed to this tenant
+    shed: int = 0              #: dropped at the door (counted per class)
+    refused: int = 0           #: dead-lettered before the path
+    refused_tagged: int = 0    #: ... of which any rule would have tagged
+    processed: int = 0         #: records consumed by the AlertPath
+    alerts_raw: int = 0        #: alerts emitted (pre-filter), journaled
+    alerts_filtered: int = 0   #: alerts the filter kept
+    crashes: int = 0           #: worker crashes absorbed
+    evictions: int = 0         #: idle evictions (checkpoint handoffs)
+    resumes: int = 0           #: resurrections from a parked checkpoint
+    shed_by_class: Dict[str, int] = field(default_factory=dict)
+    refused_by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def count_shed(self, klass: str) -> None:
+        self.shed += 1
+        self.shed_by_class[klass] = self.shed_by_class.get(klass, 0) + 1
+
+    def count_refused(self, reason: str, tagged: bool) -> None:
+        self.refused += 1
+        if tagged:
+            self.refused_tagged += 1
+        self.refused_by_reason[reason] = (
+            self.refused_by_reason.get(reason, 0) + 1
+        )
+
+    def accounted(self, queue_depth: int = 0) -> int:
+        """Everything with a known fate; equals ``received`` when the
+        tenant is conserving (the invariant tests assert exactly this)."""
+        return self.shed + self.refused + self.processed + queue_depth
+
+    def conserves(self, queue_depth: int = 0) -> bool:
+        return self.accounted(queue_depth) == self.received
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "received": self.received,
+            "shed": self.shed,
+            "shed_by_class": dict(self.shed_by_class),
+            "refused": self.refused,
+            "refused_tagged": self.refused_tagged,
+            "refused_by_reason": dict(self.refused_by_reason),
+            "processed": self.processed,
+            "alerts_raw": self.alerts_raw,
+            "alerts_filtered": self.alerts_filtered,
+            "crashes": self.crashes,
+            "evictions": self.evictions,
+            "resumes": self.resumes,
+        }

@@ -1,0 +1,118 @@
+"""Syslog wire listeners: newline-framed TCP and datagram UDP.
+
+Both transports feed :meth:`TenantRouter.ingest_line` on the event loop.
+TCP carries one envelope per line with explicit framing (partial lines
+are buffered per connection, bounded so one unframed flood cannot grow
+memory); UDP carries one envelope per datagram, matching classic syslog.
+Decoding is tolerant (``errors="replace"``) — a garbled payload becomes
+an unroutable or corrupted-record dead letter downstream, never a
+listener exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+#: A TCP connection buffering more than this many bytes without a
+#: newline is framed wrong; the buffer is flushed as one (unroutable)
+#: line rather than growing without bound.
+MAX_LINE_BYTES = 64 * 1024
+
+
+class TcpIngestListener:
+    """Newline-framed envelope stream over TCP."""
+
+    def __init__(self, router, host: str, port: int):
+        self.router = router
+        self.host = host
+        self.port = port
+        self.connections = 0
+        self.connections_open = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._serve, self.host, self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        self.connections_open += 1
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Over-long unframed junk: drain what we can reach
+                    # and account it as one line.
+                    raw = await reader.read(MAX_LINE_BYTES)
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").rstrip("\r\n")
+                if line:
+                    self.router.ingest_line(line)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # abrupt churn is normal; everything framed was ingested
+        finally:
+            self.connections_open -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+class UdpIngestProtocol(asyncio.DatagramProtocol):
+    """One envelope per datagram (multi-line datagrams are split)."""
+
+    def __init__(self, router):
+        self.router = router
+        self.datagrams = 0
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.datagrams += 1
+        text = data.decode("utf-8", errors="replace")
+        for line in text.splitlines():
+            if line:
+                self.router.ingest_line(line)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - OS-dependent
+        pass
+
+
+class UdpIngestListener:
+    """Datagram envelope listener (the lossy classic-syslog path)."""
+
+    def __init__(self, router, host: str, port: int):
+        self.router = router
+        self.host = host
+        self.port = port
+        self.protocol: Optional[UdpIngestProtocol] = None
+        self._transport = None
+
+    async def start(self) -> Tuple[str, int]:
+        loop = asyncio.get_running_loop()
+        self._transport, self.protocol = await loop.create_datagram_endpoint(
+            lambda: UdpIngestProtocol(self.router),
+            local_addr=(self.host, self.port),
+        )
+        sock = self._transport.get_extra_info("socket")
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None

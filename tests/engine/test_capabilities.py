@@ -46,7 +46,7 @@ class TestDriverSelection:
 class TestCapabilityTable:
     def test_every_driver_has_a_row(self):
         assert set(CAPABILITY_TABLE) == {
-            "serial", "sharded", "bounded", "bounded-sharded",
+            "serial", "sharded", "bounded", "bounded-sharded", "service",
         }
 
     def test_equivalence_guarantees(self):
@@ -55,6 +55,7 @@ class TestCapabilityTable:
         assert CAPABILITY_TABLE["bounded"].equivalence == SHED_TOLERANCE
         assert CAPABILITY_TABLE["bounded-sharded"].equivalence == \
             SHED_TOLERANCE
+        assert CAPABILITY_TABLE["service"].equivalence == SHED_TOLERANCE
 
     def test_checkpoint_barriers(self):
         assert CAPABILITY_TABLE["serial"].checkpoint_barrier == "record"

@@ -163,7 +163,9 @@ class TestSupervisedOverload:
         )
         assert result.degraded
         assert result.restarts == 1
-        assert len(result.failure_log) == 2  # every attempt crashed
+        # Every attempt crashed, plus the final dead-letter accounting
+        # line emitted at budget exhaustion.
+        assert len(result.failure_log) == 3
         report = result.overload
         assert report is not None
         for name, peak in report.queue_peaks.items():

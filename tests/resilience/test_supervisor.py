@@ -81,7 +81,11 @@ class TestDegradation:
         )
         assert result.degraded
         assert result.restarts == 2
-        assert len(result.failure_log) == 3  # initial attempt + 2 restarts
+        # Initial attempt + 2 restarts, plus the final dead-letter
+        # accounting line emitted at budget exhaustion.
+        assert len(result.failure_log) == 4
+        assert "final dead-letter accounting" in result.failure_log[-1]
+        assert result.final_dead_letters is not None
         assert "degraded" in result.summary()
         # Partial coverage: some prefix of the stream was analyzed.
         assert result.stats.messages < pipeline.run_system(
@@ -96,7 +100,8 @@ class TestDegradation:
         )
         assert result.degraded
         assert result.restarts == 0
-        assert len(result.failure_log) == 1
+        # One crash line plus the final dead-letter accounting line.
+        assert len(result.failure_log) == 2
 
     def test_invalid_budget(self):
         with pytest.raises(ValueError):

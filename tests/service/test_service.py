@@ -1,0 +1,314 @@
+"""The running daemon: real sockets, isolation, degradation, drain.
+
+Holds the PR's acceptance property at test scale: concurrent tenants on
+real loopback transports, one of them crashing its worker on every
+record, and the healthy tenants' alert streams are exactly what a serial
+run produces — while every record of the sick tenant is accounted.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.engine.path import AlertPath
+from repro.logio.writer import renderer_for
+from repro.service import IngestService, ServiceConfig, query_stats
+from repro.service.router import format_envelope
+from repro.simulation.generator import generate_log
+
+from ..conftest import SEED, SMALL_SCALE
+
+
+def native_lines(system, n=None, tenant=None):
+    render = renderer_for(system)
+    records = list(
+        generate_log(system, scale=SMALL_SCALE, seed=SEED).records
+    )
+    if n is not None:
+        records = records[:n]
+    if tenant is None:
+        return [render(r) for r in records]
+    return [format_envelope(tenant, system, render(r)) for r in records]
+
+
+def quick_config(**kw):
+    kw.setdefault("housekeeping_interval", 0.02)
+    kw.setdefault("max_buffer", 1 << 15)
+    return ServiceConfig(**kw)
+
+
+async def wait_for(predicate, timeout=5.0, interval=0.005):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() >= deadline:
+            raise AssertionError("condition not met before timeout")
+        await asyncio.sleep(interval)
+
+
+class TestTransports:
+    def test_tcp_multi_tenant_multi_dialect(self):
+        """Three tenants on three dialects over one TCP connection each,
+        interleaved; each gets its own isolated accounting."""
+        streams = {
+            "lib": ("liberty", native_lines("liberty", 150, "lib")),
+            "bg": ("bgl", native_lines("bgl", 150, "bg")),
+            "rs": ("redstorm", native_lines("redstorm", 150, "rs")),
+        }
+
+        async def main():
+            service = IngestService(quick_config())
+            await service.start()
+
+            async def send(lines):
+                _, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.tcp_port
+                )
+                for line in lines:
+                    writer.write(line.encode() + b"\n")
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+
+            await asyncio.gather(
+                *(send(lines) for _, lines in streams.values())
+            )
+            await wait_for(lambda: all(
+                t in service.router.tenants
+                and service.router.tenants[t].counters.received == 150
+                for t in streams
+            ))
+            await service.drain()
+            return service
+
+        service = asyncio.run(main())
+        assert service.state == "stopped"
+        report = service.final_report()
+        for tenant_id, (system, _) in streams.items():
+            row = report[tenant_id]
+            assert row["system"] == system
+            assert row["received"] == 150
+            assert row["processed"] == 150
+            assert row["conserves"]
+        assert report["_service"]["unroutable"] == 0
+
+    def test_udp_datagrams(self):
+        lines = native_lines("liberty", 50, "udp-t")
+
+        async def main():
+            service = IngestService(quick_config())
+            await service.start()
+            loop = asyncio.get_running_loop()
+            transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol,
+                remote_addr=("127.0.0.1", service.udp_port),
+            )
+            for line in lines:
+                transport.sendto(line.encode())
+                await asyncio.sleep(0.001)  # pace below loopback buffers
+            transport.close()
+            await wait_for(
+                lambda: "udp-t" in service.router.tenants
+                and service.router.tenants["udp-t"].counters.received == 50
+            )
+            await service.drain()
+            return service
+
+        service = asyncio.run(main())
+        row = service.final_report()["udp-t"]
+        assert row["processed"] == 50
+        assert row["conserves"]
+
+    def test_unroutable_lines_are_accounted(self):
+        async def main():
+            service = IngestService(quick_config())
+            await service.start()
+            _, writer = await asyncio.open_connection(
+                "127.0.0.1", service.tcp_port
+            )
+            writer.write(b"no envelope here\n")
+            writer.write(b"@tenant-without-system junk\n")
+            writer.write(b"@t:unknown-dialect payload\n")
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await wait_for(
+                lambda: service.router.unroutable.quarantined == 3
+            )
+            await service.drain()
+            return service
+
+        service = asyncio.run(main())
+        assert service.router.unroutable.quarantined == 3
+        assert dict(service.router.unroutable.by_reason) == {
+            "unroutable": 3
+        }
+        assert len(service.router.tenants) == 0
+
+
+class TestIsolation:
+    def test_crashing_tenant_does_not_delay_or_drop_others(self):
+        """ACCEPTANCE: tenant "sick" crashes its worker on every record;
+        tenants "well-*" still produce byte-identical serial alerts."""
+        records = list(
+            generate_log("liberty", scale=SMALL_SCALE, seed=SEED).records
+        )
+        render = renderer_for("liberty")
+
+        baseline = AlertPath("liberty")
+        for record in records:
+            if baseline.admit(record):
+                baseline.process(record)
+
+        def hook(tenant_id, record):
+            if tenant_id == "sick":
+                raise RuntimeError("sick tenant crashes on everything")
+
+        async def main():
+            service = IngestService(quick_config(
+                fault_hook=hook, restart_budget=2,
+                alert_tail=1 << 15, breaker_threshold=10_000,
+            ))
+            await service.start()
+            # Interleave: every well-tenant line bracketed by sick lines.
+            for record in records:
+                line = render(record)
+                service.router.ingest_line(
+                    format_envelope("sick", "liberty", line)
+                )
+                service.router.ingest_line(
+                    format_envelope("well-a", "liberty", line)
+                )
+                service.router.ingest_line(
+                    format_envelope("well-b", "liberty", line)
+                )
+                if len(service.router.tenants["well-a"].queue) > 512:
+                    await asyncio.sleep(0)  # let workers breathe
+            await service.drain()
+            return service
+
+        service = asyncio.run(main())
+        tenants = service.router.tenants
+        for name in ("well-a", "well-b"):
+            well = tenants[name]
+            assert well.counters.processed == len(records)
+            assert well.counters.crashes == 0
+            assert well.alert_tail == tuple(baseline.sink.raw_alerts)
+            assert well.counters.conserves(0)
+        sick = tenants["sick"]
+        assert sick.quarantined
+        assert sick.counters.processed == 0
+        assert sick.counters.conserves(0)  # every record accounted
+        assert sick.final_dead_letters is not None
+
+
+class TestStatsEndpoint:
+    def test_commands(self):
+        lines = native_lines("liberty", 80, "acme")
+
+        async def main():
+            service = IngestService(quick_config())
+            await service.start()
+            for line in lines:
+                service.router.ingest_line(line)
+            await wait_for(
+                lambda: service.router.tenants["acme"].counters.processed
+                == 80
+            )
+            loop = asyncio.get_running_loop()
+
+            def ask(command):
+                return query_stats(
+                    "127.0.0.1", service.stats_port, command
+                )
+
+            stats = await loop.run_in_executor(None, ask, "stats")
+            health = await loop.run_in_executor(None, ask, "health")
+            tenant = await loop.run_in_executor(None, ask, "tenant acme")
+            alerts = await loop.run_in_executor(None, ask, "alerts acme 5")
+            missing = await loop.run_in_executor(None, ask, "tenant nope")
+            bogus = await loop.run_in_executor(None, ask, "frobnicate")
+            await service.drain()
+            return stats, health, tenant, alerts, missing, bogus
+
+        stats, health, tenant, alerts, missing, bogus = asyncio.run(main())
+        assert stats["state"] == "running"
+        assert "acme" in stats["tenants"]
+        assert health["conserving"]
+        assert tenant["received"] == 80
+        assert tenant["conserves"]
+        assert len(alerts["alerts"]) <= 5
+        for alert in alerts["alerts"]:
+            assert {"timestamp", "source", "category", "type", "body"} \
+                <= set(alert)
+        assert "error" in missing
+        assert "error" in bogus and "commands" in bogus
+
+
+class TestLifecycle:
+    def test_idle_eviction_and_resurrection(self):
+        lines = native_lines("liberty", 120, "sleepy")
+
+        async def main():
+            service = IngestService(quick_config(
+                idle_ttl=0.05, housekeeping_interval=0.01,
+            ))
+            await service.start()
+            for line in lines[:60]:
+                service.router.ingest_line(line)
+            await wait_for(lambda: "sleepy" in service.router.parked)
+            parked_row = service.tenant_stats("sleepy")
+            assert parked_row["parked"]
+            assert parked_row["processed"] == 60
+            # New traffic resurrects the tenant from its checkpoint.
+            for line in lines[60:]:
+                service.router.ingest_line(line)
+            assert "sleepy" in service.router.tenants
+            await service.drain()
+            return service
+
+        service = asyncio.run(main())
+        row = service.final_report()["sleepy"]
+        assert row["received"] == 120
+        assert row["processed"] == 120
+        assert row["evictions"] == 1
+        assert row["resumes"] == 1
+        assert row["conserves"]
+
+    def test_degraded_mode_flips_coarse_stats(self):
+        lines = native_lines("liberty", 10, "t")
+
+        async def main():
+            service = IngestService(quick_config(
+                housekeeping_interval=0.01, sustain=2,
+            ))
+            await service.start()
+            for line in lines:
+                service.router.ingest_line(line)
+            tenant = service.router.tenants["t"]
+            assert not tenant.path.stats_collector.coarse
+
+            service.router.total_queued = (
+                lambda: service.config.global_queue_budget
+            )
+            await wait_for(lambda: service.router.governor.degraded)
+            assert tenant.path.stats_collector.coarse
+            assert any("degraded" in e for e in service.events)
+
+            del service.router.total_queued  # restore the real method
+            await wait_for(
+                lambda: not service.router.governor.degraded
+            )
+            assert not tenant.path.stats_collector.coarse
+            await service.drain()
+
+        asyncio.run(main())
+
+    def test_double_start_rejected(self):
+        async def main():
+            service = IngestService(quick_config())
+            await service.start()
+            with pytest.raises(RuntimeError, match="cannot start"):
+                await service.start()
+            await service.drain()
+
+        asyncio.run(main())

@@ -1,0 +1,296 @@
+"""One tenant's pipeline: equivalence, supervision, conservation.
+
+The tenant is a bounded pipeline run that never ends; these tests pin
+the contract down: an unpressured tenant reproduces the serial path's
+alerts exactly, a crashing tenant degrades by the supervisor rules
+(dead-letter the poison record, restore from checkpoint, quarantine at
+budget exhaustion with a final accounting snapshot), and the counters
+partition every received record no matter what happened.
+"""
+
+import asyncio
+
+from repro.engine.path import AlertPath
+from repro.service.config import ServiceConfig
+from repro.service.tenant import Tenant
+from repro.simulation.generator import generate_log
+
+from ..conftest import SEED, SMALL_SCALE
+
+
+def liberty_records(n=None):
+    records = list(
+        generate_log("liberty", scale=SMALL_SCALE, seed=SEED).records
+    )
+    return records if n is None else records[:n]
+
+
+def roomy_config(**kw):
+    kw.setdefault("max_buffer", 1 << 16)
+    kw.setdefault("alert_tail", 1 << 16)
+    return ServiceConfig(**kw)
+
+
+async def run_tenant(tenant, records):
+    tenant.start()
+    for record in records:
+        tenant.offer(record)
+    await tenant.drain()
+    return tenant
+
+
+def conservation_ok(tenant):
+    return tenant.counters.conserves(len(tenant.queue))
+
+
+class TestEquivalence:
+    def test_unpressured_tenant_matches_serial_path(self):
+        """ACCEPTANCE (isolation baseline): with no pressure and no
+        faults, a tenant's alert stream is the serial path's, exactly."""
+        records = liberty_records()
+
+        baseline = AlertPath("liberty")
+        for record in records:
+            if baseline.admit(record):
+                baseline.process(record)
+
+        async def main():
+            tenant = Tenant("t", "liberty", roomy_config())
+            return await run_tenant(tenant, records)
+
+        tenant = asyncio.run(main())
+        assert tenant.counters.processed == len(records)
+        assert tenant.counters.shed == 0
+        assert tenant.counters.alerts_raw == len(baseline.sink.raw_alerts)
+        assert (
+            tenant.counters.alerts_filtered
+            == len(baseline.sink.filtered_alerts)
+        )
+        assert tenant.alert_tail == tuple(baseline.sink.raw_alerts)
+        assert conservation_ok(tenant)
+
+    def test_drain_takes_final_checkpoint(self):
+        async def main():
+            tenant = Tenant("t", "liberty", roomy_config())
+            return await run_tenant(tenant, liberty_records(100))
+
+        tenant = asyncio.run(main())
+        assert tenant.checkpoint is not None
+        assert tenant.checkpoint.records_consumed == tenant.counters.processed
+
+
+class TestCrashSupervision:
+    def crashy_config(self, crash_on, budget=3, **kw):
+        """Crash the worker on specific record indices (by arrival)."""
+        seen = {"n": 0}
+
+        def hook(tenant_id, record):
+            seen["n"] += 1
+            if seen["n"] in crash_on:
+                raise RuntimeError(f"injected crash #{seen['n']}")
+
+        return roomy_config(
+            fault_hook=hook, restart_budget=budget,
+            breaker_threshold=100, **kw,
+        )
+
+    def test_crash_dead_letters_poison_record_and_continues(self):
+        records = liberty_records(200)
+
+        async def main():
+            tenant = Tenant(
+                "t", "liberty", self.crashy_config(crash_on={50})
+            )
+            return await run_tenant(tenant, records)
+
+        tenant = asyncio.run(main())
+        assert tenant.counters.crashes == 1
+        assert not tenant.quarantined
+        # The poison record is accounted (refused), the rest processed.
+        assert tenant.counters.refused_by_reason.get("worker-crash") == 1
+        assert tenant.counters.processed == len(records) - 1
+        assert conservation_ok(tenant)
+
+    def test_budget_exhaustion_quarantines_with_final_snapshot(self):
+        records = liberty_records(100)
+
+        async def main():
+            tenant = Tenant(
+                "t", "liberty",
+                self.crashy_config(crash_on={10, 20, 30}, budget=2),
+            )
+            tenant.start()
+            for record in records:
+                tenant.offer(record)
+            # Worker quarantines mid-stream; wait for it to settle.
+            while not tenant.quarantined:
+                await asyncio.sleep(0.001)
+            await tenant.drain()
+            # Late arrivals after quarantine are refused, not lost.
+            tenant.offer(records[0])
+            return tenant
+
+        tenant = asyncio.run(main())
+        assert tenant.quarantined
+        assert tenant.counters.crashes == 3  # budget 2 + the fatal third
+        assert tenant.final_dead_letters is not None
+        reasons = dict(tenant.final_dead_letters.by_reason)
+        assert reasons.get("worker-crash") == 3
+        # Queued records at quarantine time were flushed with a reason,
+        # and the post-quarantine offer was refused too.
+        assert tenant.counters.refused_by_reason.get(
+            "tenant-quarantined", 0
+        ) >= 1
+        assert conservation_ok(tenant)
+
+    def test_restored_path_never_unreports_alerts(self):
+        """Journaled alert counts are monotonic across crash-restores:
+        a restart must not roll back alerts already reported."""
+        records = liberty_records()
+
+        async def main():
+            config = self.crashy_config(
+                crash_on={len(records) // 2}, checkpoint_every=50,
+            )
+            tenant = Tenant("t", "liberty", config)
+            counts = []
+
+            orig = tenant._rebuild_path
+
+            def spying_rebuild():
+                counts.append(tenant.counters.alerts_raw)
+                orig()
+                counts.append(tenant.counters.alerts_raw)
+
+            tenant._rebuild_path = spying_rebuild
+            await run_tenant(tenant, records)
+            return tenant, counts
+
+        tenant, counts = asyncio.run(main())
+        assert counts, "crash did not trigger a rebuild"
+        before, after = counts[0], counts[1]
+        assert after == before  # rebuild preserved the journal
+        assert tenant.counters.alerts_raw >= after
+
+
+class TestBreaker:
+    def test_breaker_opens_and_recovers(self):
+        records = liberty_records(60)
+
+        def hook(tenant_id, record):
+            if hook.arm:
+                raise RuntimeError("crash while armed")
+
+        hook.arm = True
+        config = roomy_config(
+            fault_hook=hook, restart_budget=100,
+            breaker_threshold=2, breaker_reset=0.05,
+        )
+
+        async def main():
+            tenant = Tenant("t", "liberty", config)
+            tenant.start()
+            # Two crashing records open the breaker.
+            for record in records[:2]:
+                tenant.offer(record)
+                await asyncio.sleep(0.01)
+            while tenant.breaker_state != "open":
+                await asyncio.sleep(0.001)
+            # While open, arrivals are refused with circuit-open.
+            tenant.offer(records[2])
+            assert tenant.counters.refused_by_reason.get("circuit-open") == 1
+            # After the reset timeout, a healthy stream closes it again.
+            hook.arm = False
+            await asyncio.sleep(0.06)
+            for record in records[3:]:
+                tenant.offer(record)
+            await tenant.drain()
+            return tenant
+
+        tenant = asyncio.run(main())
+        assert tenant.breaker_state == "closed"
+        assert tenant.breaker.times_opened == 1
+        assert conservation_ok(tenant)
+
+
+class TestSheddingAndConservation:
+    def test_flood_against_tiny_queue_conserves(self):
+        """Offer faster than the worker can run: every record is shed
+        with a class, spilled with a reason, queued, or processed."""
+        records = liberty_records(500)
+        config = ServiceConfig(max_buffer=8, service_batch=4)
+
+        async def main():
+            tenant = Tenant("t", "liberty", config)
+            tenant.start()
+            for record in records:  # no await: a genuine burst
+                tenant.offer(record)
+            assert tenant.counters.received == len(records)
+            assert conservation_ok(tenant)  # mid-flight, queue non-empty
+            await tenant.drain()
+            return tenant
+
+        tenant = asyncio.run(main())
+        assert conservation_ok(tenant)
+        assert tenant.counters.shed + tenant.counters.refused > 0
+        # Tagged alerts were never silently shed: anything shed outright
+        # is a chatter/duplicate class.
+        assert "tagged-alert" not in tenant.counters.shed_by_class
+
+
+class TestParkResume:
+    def test_park_and_resume_preserves_accounting_and_state(self):
+        records = liberty_records(400)
+        config = roomy_config(idle_ttl=0.0)
+
+        async def main():
+            tenant = Tenant("t", "liberty", config)
+            tenant.start()
+            for record in records[:200]:
+                tenant.offer(record)
+            while tenant.counters.processed < 200:
+                await asyncio.sleep(0.001)
+            assert tenant.evictable(tenant.last_activity + 1.0)
+            parked = tenant.park()
+
+            resumed = Tenant("t", "liberty", config, parked=parked)
+            await run_tenant(resumed, records[200:])
+            return resumed
+
+        resumed = asyncio.run(main())
+        assert resumed.counters.processed == len(records)
+        assert resumed.counters.evictions == 1
+        assert resumed.counters.resumes == 1
+        assert conservation_ok(resumed)
+
+        # Alert totals match an uninterrupted run.
+        async def uninterrupted():
+            tenant = Tenant("u", "liberty", roomy_config())
+            return await run_tenant(tenant, records)
+
+        baseline = asyncio.run(uninterrupted())
+        assert resumed.counters.alerts_raw == baseline.counters.alerts_raw
+        assert (
+            resumed.counters.alerts_filtered
+            == baseline.counters.alerts_filtered
+        )
+
+    def test_quarantined_tenant_is_not_evictable(self):
+        def hook(tenant_id, record):
+            raise RuntimeError("always")
+
+        config = roomy_config(
+            fault_hook=hook, restart_budget=0, idle_ttl=0.0,
+        )
+
+        async def main():
+            tenant = Tenant("t", "liberty", config)
+            tenant.start()
+            tenant.offer(liberty_records(1)[0])
+            while not tenant.quarantined:
+                await asyncio.sleep(0.001)
+            await tenant.drain()
+            return tenant
+
+        tenant = asyncio.run(main())
+        assert not tenant.evictable(tenant.last_activity + 9999.0)

@@ -22,6 +22,7 @@ import repro
         "repro.prediction",
         "repro.logio",
         "repro.reporting",
+        "repro.service",
         "repro.systems",
     ],
 )
