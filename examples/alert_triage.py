@@ -22,7 +22,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import pipeline
+from repro import api
 from repro.core.adaptive_filter import suggest_thresholds
 from repro.core.correlated_filter import learn_correlated_groups
 from repro.core.filtering import sorted_by_time
@@ -46,7 +46,7 @@ def main() -> None:
 
     print("Reading it back and running the triage pipeline ...")
     year = int(generated.scenario.start_date.split("-")[0])
-    result = pipeline.run_stream(
+    result = api.run_stream(
         read_log(log_path, "spirit", year=year), "spirit"
     )
     print(f"  {result.corrupted_messages:,} lines arrived corrupted and "

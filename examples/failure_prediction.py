@@ -19,7 +19,7 @@ Usage::
 
 import sys
 
-from repro import pipeline
+from repro import api
 from repro.prediction.base import evaluate
 from repro.prediction.ensemble import PredictorEnsemble
 from repro.prediction.features import AlertHistory
@@ -40,7 +40,7 @@ def quantile_spans(history):
 def main() -> None:
     system = sys.argv[1] if len(sys.argv) > 1 else "liberty"
     print(f"Generating {system} alert history ...")
-    result = pipeline.run_system(
+    result = api.run_system(
         system, scale=1.0 if system == "liberty" else 1e-3,
         background_scale=1e-4, seed=2007,
     )

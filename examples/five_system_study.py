@@ -16,7 +16,7 @@ Expect ~1 minute at the default scale.
 
 import sys
 
-from repro import pipeline
+from repro import api
 from repro.analysis.interarrival import interarrival_times, log_histogram
 from repro.analysis.timeseries import hourly_message_counts, messages_by_source
 from repro.reporting import figures, tables
@@ -31,7 +31,7 @@ def main() -> None:
     results = {}
     for system in ("bgl", "thunderbird", "redstorm", "spirit", "liberty"):
         system_scale = scale * (100 if system == "bgl" else 1)
-        results[system] = pipeline.run_system(
+        results[system] = api.run_system(
             system, scale=system_scale, seed=2007
         )
         print(f"  {system}: {results[system].message_count:,} messages, "

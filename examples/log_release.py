@@ -24,7 +24,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro import pipeline
+from repro import api
 from repro.analysis.patterns import mine_templates, template_coverage
 from repro.logio.reader import read_log
 from repro.logio.writer import write_log
@@ -65,10 +65,10 @@ def main() -> None:
     else:
         print("   no residual sensitive-looking strings detected")
 
-    before = pipeline.run_stream(
+    before = api.run_stream(
         read_log(raw_path, "thunderbird", year=year), "thunderbird"
     )
-    after = pipeline.run_stream(
+    after = api.run_stream(
         read_log(anon_path, "thunderbird", year=year), "thunderbird"
     )
     print("   analysis equivalence on the anonymized log:")

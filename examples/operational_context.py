@@ -25,7 +25,7 @@ import time
 
 import numpy as np
 
-from repro import pipeline
+from repro import api
 from repro.analysis.ras import lost_work_report, mttf_sensitivity
 from repro.core.filtering import sorted_by_time
 from repro.reporting.figures import figure1
@@ -37,7 +37,7 @@ from repro.systems.specs import get_system
 
 def main() -> None:
     print("Generating BG/L with its operational-context ground truth ...")
-    result = pipeline.run_system("bgl", scale=1e-3, seed=2007)
+    result = api.run_system("bgl", scale=1e-3, seed=2007)
     timeline = result.generated.timeline
 
     print()

@@ -17,7 +17,7 @@ to generate (default 1e-4).
 
 import sys
 
-from repro import pipeline
+from repro import api
 from repro.reporting.format import render_table
 
 
@@ -26,7 +26,7 @@ def main() -> None:
     scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1e-4
 
     print(f"Generating and analyzing the {system} log at scale {scale:g}...")
-    result = pipeline.run_system(system, scale=scale, seed=2007)
+    result = api.run_system(system, scale=scale, seed=2007)
 
     print()
     print(result.summary())

@@ -26,7 +26,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro import pipeline  # noqa: E402
+from repro import api  # noqa: E402
 from repro.logio.reader import read_log  # noqa: E402
 from repro.logio.writer import write_log  # noqa: E402
 from repro.simulation.generator import generate_log  # noqa: E402
@@ -73,7 +73,7 @@ def build(system: str) -> None:
     # records: the corpus locks in the whole read -> tag -> filter path,
     # including format round-trip behavior.
     parsed = read_log(log_path, system, year=YEAR)
-    result = pipeline.run_stream(parsed, system)
+    result = api.run_stream(parsed, system)
     expected = {
         "system": system,
         "seed": SEED,

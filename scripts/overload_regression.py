@@ -53,7 +53,7 @@ def main() -> int:
     else:
         print("address-space cap: unavailable on this platform")
 
-    from repro import pipeline
+    from repro import api
     from repro.resilience.backpressure import BackpressureConfig
     from repro.resilience.deadletter import REASON_SHED_OVERLOAD
     from repro.resilience.shedding import CLASS_ALERT
@@ -62,12 +62,12 @@ def main() -> int:
     failures = []
     for system in sorted(SYSTEMS):
         scale = args.scale * (100 if system == "bgl" else 1)
-        baseline = pipeline.run_system(system, scale=scale, seed=args.seed)
+        baseline = api.run_system(system, scale=scale, seed=args.seed)
         config = BackpressureConfig.burst(
             factor=10.0, service_batch=32,
             max_buffer=args.max_buffer, filter_buffer=args.max_buffer // 4,
         )
-        result = pipeline.run_system(
+        result = api.run_system(
             system, scale=scale, seed=args.seed, backpressure=config,
         )
         report = result.overload

@@ -21,15 +21,21 @@ The package implements, from scratch:
 
 Quickstart::
 
-    from repro import pipeline
-    result = pipeline.run_system("liberty", scale=0.1, seed=42)
+    from repro import api
+    result = api.run("liberty", scale=0.1, seed=42)
     print(result.summary())
+
+:mod:`repro.api` is the stable import surface (``run``, ``run_all``,
+``tag_lines``, ``iter_alerts``, ``serve``, plus the historical
+``run_stream``/``run_system``); its facade functions are also re-exported
+here at the package root.  ``repro.pipeline`` still works but warns.
 """
 
 __version__ = "1.0.0"
 
 from . import (
     analysis,
+    api,
     core,
     engine,
     logio,
@@ -43,11 +49,14 @@ from . import (
     simulation,
     systems,
 )
+from .api import iter_alerts, run, run_all, serve, tag_lines
 
 __all__ = [
     "analysis",
+    "api",
     "core",
     "engine",
+    "iter_alerts",
     "logio",
     "logmodel",
     "parallel",
@@ -55,8 +64,12 @@ __all__ = [
     "prediction",
     "reporting",
     "resilience",
+    "run",
+    "run_all",
+    "serve",
     "service",
     "simulation",
     "systems",
+    "tag_lines",
     "__version__",
 ]

@@ -10,6 +10,7 @@ a false negative rate of 0% but a false positive rate of 59.34%"
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -38,6 +39,29 @@ class SeverityCrossTab:
         self.messages[label] = self.messages.get(label, 0) + 1
         if is_alert:
             self.alerts[label] = self.alerts.get(label, 0) + 1
+
+    def add_batch(
+        self, records: Sequence[LogRecord], alert_indices: Iterable[int]
+    ) -> None:
+        """Batch form of :meth:`add`: every record counts as a message;
+        the records at ``alert_indices`` also count as alerts.  Counter
+        preserves first-occurrence order, so the tab's dicts grow in the
+        same key order the per-record form produces."""
+        messages = self.messages
+        none_label = self.NONE_LABEL
+        for label, count in Counter(
+            record.severity for record in records
+        ).items():
+            if label is None:
+                label = none_label
+            messages[label] = messages.get(label, 0) + count
+        alerts = self.alerts
+        for label, count in Counter(
+            records[i].severity for i in alert_indices
+        ).items():
+            if label is None:
+                label = none_label
+            alerts[label] = alerts.get(label, 0) + count
 
     @property
     def total_messages(self) -> int:

@@ -1,0 +1,365 @@
+"""The stable public API: one import surface for the whole library.
+
+Everything a caller needs rides on five functions::
+
+    from repro import api
+
+    api.run("spirit", scale=1e-4, seed=42)   # generate + full pipeline
+    api.run("spirit", records=stream)        # full pipeline over a stream
+    api.run_all(scale=1e-4)                  # the five-system study
+    api.tag_lines(lines, "liberty")          # native-format lines -> alerts
+    api.iter_alerts(records, "bgl")          # streaming alerts, optional shards
+    api.serve(tcp_port=5140)                 # the multi-tenant ingest service
+
+These names (plus :func:`run_stream`/:func:`run_system`, the historical
+pipeline entry points that :func:`run` wraps) are the supported, stable
+surface; ``repro.pipeline`` forwards here with a :class:`DeprecationWarning`
+and the engine/driver internals may reshape without notice.  The paper's
+workflow (Sections 3-4) maps directly: generate or read a machine's log,
+accumulate Table 2 volume statistics while streaming, tag alerts with the
+machine's expert ruleset, filter with Algorithm 3.1, and keep everything
+an analysis needs on one :class:`~repro.engine.result.PipelineResult`.
+
+The execution knobs compose orthogonally — ``parallel`` with
+``checkpointer``/``resume_from`` (snapshots at batch barriers),
+``parallel`` with ``backpressure`` (the bounded ingest queue feeds the
+sharded tagger's in-flight window), and either with supervision — see
+:data:`repro.engine.capabilities.CAPABILITY_TABLE`.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .core.categories import Alert
+from .core.filtering import DEFAULT_THRESHOLD
+from .core.tagging import RulesetHandle
+from .engine.capabilities import build_driver, validate_run_config
+from .engine.path import DEFAULT_REORDER_TOLERANCE, AlertPath
+from .engine.result import PipelineResult
+from .logmodel.record import LogRecord
+from .resilience.backpressure import BackpressureConfig
+from .resilience.checkpoint import CheckpointManager, PipelineCheckpoint
+from .resilience.deadletter import DeadLetterQueue
+from .parallel.config import ParallelConfig
+from .simulation.generator import GeneratedLog, LogGenerator
+
+#: Supervised defaults, applied when ``run_system(supervised=True)`` /
+#: ``faults=...`` is used without explicit budget/cadence knobs.
+DEFAULT_RESTART_BUDGET = 3
+DEFAULT_CHECKPOINT_EVERY = 2000
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_REORDER_TOLERANCE",
+    "DEFAULT_RESTART_BUDGET",
+    "DEFAULT_THRESHOLD",
+    "PipelineResult",
+    "iter_alerts",
+    "run",
+    "run_all",
+    "run_stream",
+    "run_system",
+    "serve",
+    "tag_lines",
+]
+
+
+def run_stream(
+    records: Iterable[LogRecord],
+    system: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    generated: Optional[GeneratedLog] = None,
+    dead_letters: Optional[DeadLetterQueue] = None,
+    checkpointer: Optional[CheckpointManager] = None,
+    resume_from: Optional[PipelineCheckpoint] = None,
+    reorder_tolerance: float = DEFAULT_REORDER_TOLERANCE,
+    backpressure: Optional[BackpressureConfig] = None,
+    parallel: Optional[ParallelConfig] = None,
+) -> PipelineResult:
+    """Run the measurement/tag/filter pipeline over any record stream.
+
+    Single pass: volume statistics, severity cross-tab, tagging, and
+    filtering all happen as the stream flows through, so an arbitrarily
+    large log needs constant memory beyond the alert lists.
+
+    With ``dead_letters`` attached the pipeline quarantines what it cannot
+    process — malformed records, records that crash the tagger, alerts
+    whose timestamps run backwards beyond ``reorder_tolerance`` — instead
+    of raising.  Without a queue the historical strict behavior holds.
+
+    With a ``checkpointer``, resumable snapshots are taken at the chosen
+    driver's consistency barrier (serial: every ``checkpointer.every``
+    input records; sharded: batch boundaries; bounded: drained-queue
+    barriers); pass the last snapshot back as ``resume_from`` (with the
+    *same* deterministic stream) after a crash and the run continues
+    without reprocessing, landing byte-identical to an uninterrupted run
+    (bounded: within shedding tolerance).
+
+    With ``backpressure`` (a :class:`BackpressureConfig`), the stages run
+    behind bounded queues with credit-based flow control and
+    priority-aware load shedding — see
+    :class:`~repro.engine.drivers.BoundedDriver` — and the result carries
+    an :class:`~repro.resilience.backpressure.OverloadReport`.
+
+    With ``parallel`` (a :class:`ParallelConfig`), tagging fans out to
+    worker processes — see :class:`~repro.engine.drivers.ShardedDriver`
+    — while stats, severity, and the spatio-temporal filter stay the
+    single sequential consumer of the order-preserved merge, so the
+    result is identical to a serial run (the differential suites in
+    ``tests/parallel/`` and ``tests/engine/`` enforce this).  Both knobs
+    compose with each other and with checkpoint/resume; see
+    :data:`repro.engine.capabilities.CAPABILITY_TABLE`.
+    """
+    validate_run_config(parallel=parallel, backpressure=backpressure)
+    if backpressure is not None and dead_letters is None:
+        # Bounded mode must never lose a tagged alert silently: the spill
+        # path needs somewhere accounted to land.
+        dead_letters = DeadLetterQueue()
+
+    path = AlertPath(
+        system,
+        threshold=threshold,
+        dead_letters=dead_letters,
+        reorder_tolerance=reorder_tolerance,
+        resume_from=resume_from,
+    )
+    source = iter(records)
+    if resume_from is not None:
+        source = islice(source, path.consumed, None)
+    if checkpointer is not None:
+        checkpointer.prime(resume_from)
+
+    driver = build_driver(parallel=parallel, backpressure=backpressure)
+    report = driver.run(source, path, checkpointer)
+
+    return path.result(
+        generated=generated,
+        shard_stats=report.shard_stats,
+        overload=report.overload,
+        checkpoints=checkpointer,
+    )
+
+
+def run_system(
+    system: str,
+    scale: float = 1e-4,
+    seed: int = 2007,
+    threshold: float = DEFAULT_THRESHOLD,
+    incident_scale: float = 1.0,
+    faults=None,
+    supervised: bool = False,
+    restart_budget: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    backpressure: Optional[BackpressureConfig] = None,
+    parallel: Optional[ParallelConfig] = None,
+    **generator_kwargs,
+) -> PipelineResult:
+    """Generate one machine's log and run the full pipeline over it.
+
+    Pass ``faults`` (a :class:`~repro.resilience.faults.FaultConfig`) or
+    ``supervised=True`` to run under the pipeline supervisor: injected or
+    real worker failures are caught, the run restarts from the latest
+    checkpoint (at most ``restart_budget`` times, default
+    :data:`DEFAULT_RESTART_BUDGET`), and the result reports
+    ``degraded``/dead-letter state instead of raising.
+
+    Pass ``checkpoint_every`` to snapshot every N input records whether or
+    not the run is supervised: an unsupervised run attaches a real
+    :class:`CheckpointManager` and exposes it as ``result.checkpoints``
+    (``result.checkpoints.latest`` is the resume point after a crash).
+    ``restart_budget`` without supervision raises — there is nothing to
+    restart — instead of being silently ignored as it historically was.
+
+    ``backpressure``, ``parallel``, supervision, and checkpointing all
+    compose; see :data:`repro.engine.capabilities.CAPABILITY_TABLE` for
+    each combination's checkpoint barrier and equivalence guarantee.
+    """
+    validate_run_config(
+        parallel=parallel, backpressure=backpressure, faults=faults,
+        supervised=supervised, restart_budget=restart_budget,
+        checkpoint_every=checkpoint_every,
+    )
+    if faults is not None or supervised:
+        from .resilience.supervisor import PipelineSupervisor
+
+        supervisor = PipelineSupervisor(
+            restart_budget=(
+                DEFAULT_RESTART_BUDGET if restart_budget is None
+                else restart_budget
+            ),
+            checkpoint_every=(
+                DEFAULT_CHECKPOINT_EVERY if checkpoint_every is None
+                else checkpoint_every
+            ),
+        )
+        return supervisor.run_system(
+            system, scale=scale, seed=seed, threshold=threshold,
+            incident_scale=incident_scale, faults=faults,
+            backpressure=backpressure, parallel=parallel,
+            **generator_kwargs,
+        )
+    generator = LogGenerator(
+        system, scale=scale, seed=seed, incident_scale=incident_scale,
+        **generator_kwargs,
+    )
+    generated = generator.generate()
+    checkpointer = (
+        CheckpointManager(every=checkpoint_every)
+        if checkpoint_every is not None else None
+    )
+    return run_stream(
+        generated.records, system, threshold=threshold, generated=generated,
+        checkpointer=checkpointer, backpressure=backpressure,
+        parallel=parallel,
+    )
+
+
+def run_all(
+    scale: float = 1e-4,
+    seed: int = 2007,
+    threshold: float = DEFAULT_THRESHOLD,
+    faults=None,
+    supervised: bool = False,
+    restart_budget: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    backpressure: Optional[BackpressureConfig] = None,
+    parallel: Optional[ParallelConfig] = None,
+    **generator_kwargs,
+) -> Dict[str, PipelineResult]:
+    """Run the pipeline for all five machines (Table 2's full study).
+
+    With ``faults``/``supervised`` the whole study runs under supervision:
+    every system completes — possibly degraded, never raising — and each
+    result carries its dead-letter and restart accounting.  With
+    ``backpressure``, every system runs bounded; each gets its own queues
+    and accounting.  With ``parallel``, every system's tagging is sharded
+    across worker processes (each system gets its own pool).  The knobs
+    compose, per system, exactly as in :func:`run_system`.
+    """
+    from .systems.specs import SYSTEMS
+
+    return {
+        name: run_system(
+            name, scale=scale, seed=seed, threshold=threshold,
+            faults=faults, supervised=supervised,
+            restart_budget=restart_budget, checkpoint_every=checkpoint_every,
+            backpressure=backpressure, parallel=parallel, **generator_kwargs,
+        )
+        for name in SYSTEMS
+    }
+
+
+# ---------------------------------------------------------------------------
+# The stable facade.
+# ---------------------------------------------------------------------------
+
+
+def run(
+    system: str,
+    records: Optional[Iterable[LogRecord]] = None,
+    **kwargs,
+) -> PipelineResult:
+    """The front door: run the full pipeline for one machine.
+
+    Without ``records``, a calibrated synthetic log is generated first
+    (all :func:`run_system` keywords apply: ``scale``, ``seed``,
+    ``faults``, ``supervised``, ``backpressure``, ``parallel``, ...).
+    With ``records``, the stream is consumed directly (all
+    :func:`run_stream` keywords apply: ``dead_letters``,
+    ``checkpointer``/``resume_from``, ``backpressure``, ``parallel``,
+    ...).
+
+    Example::
+
+        from repro import api
+        result = api.run("spirit", scale=1e-4, seed=42)
+        print(result.summary())
+    """
+    if records is None:
+        return run_system(system, **kwargs)
+    return run_stream(records, system, **kwargs)
+
+
+def iter_alerts(
+    records: Iterable[LogRecord],
+    system: str,
+    workers: int = 0,
+    batch_size: int = 1024,
+    dead_letters: Optional[DeadLetterQueue] = None,
+) -> Iterator[Alert]:
+    """Lazily tag a record stream, yielding alerts in stream order.
+
+    The tagging-only subset of the pipeline: no volume statistics, no
+    spatio-temporal filter — just the Section 3.2 expert ruleset applied
+    to every record.  With ``workers`` > 0, tagging shards across that
+    many processes (batches of ``batch_size``) and the alert order is
+    still the stream order.  ``dead_letters`` quarantines records that
+    crash the rules engine instead of raising.
+    """
+    if workers:
+        from .parallel.sharded import ShardedTagger
+
+        config = ParallelConfig(workers=workers, batch_size=batch_size)
+        with ShardedTagger(system, config) as sharded:
+            yield from sharded.tag_stream(records, dead_letters=dead_letters)
+        return
+    tagger = RulesetHandle(system).tagger()
+    yield from tagger.tag_stream(records, dead_letters=dead_letters)
+
+
+def tag_lines(
+    lines: Iterable[str],
+    system: str,
+    year: int = 2005,
+    workers: int = 0,
+) -> List[Alert]:
+    """Parse native-format log lines and tag them with the expert rules.
+
+    ``lines`` is any iterable of strings in the machine's on-disk format
+    (what :mod:`repro.logio` writes and the five real machines emit);
+    blank lines are skipped, damaged lines parse tolerantly as corrupted
+    records rather than raising.  ``year`` seeds the syslog timestamp
+    parser (BSD syslog lines carry no year).  Returns the tagged alerts
+    in input order.
+
+    Example::
+
+        from repro import api
+        alerts = api.tag_lines(open("liberty.log"), "liberty")
+    """
+    from .logio.reader import _parse_records
+
+    records = _parse_records(iter(lines), system, year)
+    return list(iter_alerts(records, system, workers=workers))
+
+
+def serve(config=None, **config_kwargs) -> Dict[str, dict]:
+    """Run the multi-tenant ingest service until stopped; return the
+    final per-tenant report.
+
+    Pass a ready :class:`~repro.service.config.ServiceConfig`, or its
+    keyword fields directly (``tcp_port=5140``, ``max_buffer=4096``,
+    ...).  Blocks inside ``asyncio.run`` until SIGTERM/SIGINT, drains
+    every tenant, and returns the same report mapping the ``serve`` CLI
+    command prints: tenant id -> accounting row, plus the ``"_service"``
+    totals row.
+    """
+    import asyncio
+
+    from .service import IngestService, ServiceConfig
+
+    if config is None:
+        config = ServiceConfig(**config_kwargs)
+    elif config_kwargs:
+        raise TypeError("pass either a ServiceConfig or keyword fields, "
+                        "not both")
+
+    async def _run() -> Dict[str, dict]:
+        service = IngestService(config)
+        await service.start()
+        await service.run_until_stopped()
+        return service.final_report()
+
+    return asyncio.run(_run())

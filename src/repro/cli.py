@@ -16,7 +16,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import pipeline
+from . import api
 from .analysis.patterns import mine_templates, suggest_rules, template_coverage
 from .engine.capabilities import capability_lines, validate_run_config
 from .parallel.config import ParallelConfig
@@ -70,7 +70,7 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
 def cmd_analyze(args: argparse.Namespace) -> int:
     records = read_log(args.path, args.system, year=args.year)
     dead_letters = DeadLetterQueue() if args.quarantine else None
-    result = pipeline.run_stream(records, args.system,
+    result = api.run_stream(records, args.system,
                                  threshold=args.threshold,
                                  dead_letters=dead_letters,
                                  parallel=_parallel_config(args))
@@ -125,7 +125,7 @@ def cmd_study(args: argparse.Namespace) -> int:
     results = {}
     for system in SYSTEM_CHOICES:
         scale = args.scale * (100 if system == "bgl" else 1)
-        result = pipeline.run_system(
+        result = api.run_system(
             system, scale=scale, seed=args.seed, faults=faults,
             restart_budget=args.restart_budget,
             checkpoint_every=args.checkpoint_every,

@@ -15,54 +15,23 @@ the manual process.
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Pattern, Sequence, Tuple
 
 from ..logmodel.record import LogRecord
 from .categories import Alert, CategoryDef, Ruleset
+from .rules.compiled import CompiledRuleset, compiled_ruleset, scoped_pattern
 
-#: Global inline-flag groups a pattern may open with, e.g. ``(?i)``.
-_GLOBAL_FLAG_GROUP = re.compile(r"\(\?([aiLmsux]+)\)")
-
-#: Flags expressible as scoped inline-flag letters (``(?i:...)``).
-#: ``re.L`` needs a bytes pattern and ``re.U`` is the str default, so
-#: neither can reach a str-pattern ruleset; both are dropped if present.
-_FLAG_LETTERS = (
-    (re.ASCII, "a"),
-    (re.IGNORECASE, "i"),
-    (re.MULTILINE, "m"),
-    (re.DOTALL, "s"),
-    (re.VERBOSE, "x"),
-)
-
-
-def scoped_pattern(category: CategoryDef) -> str:
-    """The category's pattern as a self-contained alternation branch.
-
-    Joining raw patterns with ``|`` loses per-rule flags: ``(?i)`` inside
-    a branch is a *global* flag (an error since Python 3.11, silently
-    applied to every branch before that), and ``CategoryDef.flags`` never
-    reached the combined regex at all.  Scoped inline-flag groups
-    (``(?i:...)``) carry each rule's flags without leaking them to the
-    other branches.
-    """
-    pattern = category.pattern
-    flags = category.flags
-    while True:  # lift leading global flag groups, e.g. "(?i)foo"
-        head = _GLOBAL_FLAG_GROUP.match(pattern)
-        if head is None:
-            break
-        for flag, letter in _FLAG_LETTERS:
-            if letter in head.group(1):
-                flags |= flag
-        pattern = pattern[head.end():]
-    letters = "".join(
-        letter for flag, letter in _FLAG_LETTERS if flags & flag
-    )
-    if letters:
-        return f"(?{letters}:{pattern})"
-    return f"(?:{pattern})"
+__all__ = [
+    "BatchOutcome",
+    "RulesetHandle",
+    "TagCount",
+    "Tagger",
+    "count_by_category",
+    "count_by_type",
+    "observed_categories",
+    "scoped_pattern",
+]
 
 
 class Tagger:
@@ -75,35 +44,60 @@ class Tagger:
 
     Notes
     -----
-    Compilation happens once here.  :meth:`tag` is the hot path: almost
-    every record in a real log matches *no* rule (Liberty: 2,452 alerts in
-    265 M messages), so the tagger first runs one combined
-    alternation regex as a reject filter, and only on a hit falls back to
-    the ordered scan that preserves logsurfer's first-rule-wins semantics
-    exactly (an alternation alone would implement earliest-*position*
-    match, which is a different priority rule).
+    Compilation happens once here (cached per process for registered
+    system rulesets).  :meth:`tag` is the hot path: almost every record
+    in a real log matches *no* rule (Liberty: 2,452 alerts in 265 M
+    messages), so matching runs through the
+    :class:`~repro.core.rules.compiled.CompiledRuleset` — a single
+    branch-dispatched alternation (behind a literal prefilter where the
+    rules allow one) whose hit names a candidate rule, after which only
+    the rules *ahead* of the candidate are re-tested, preserving
+    logsurfer's first-rule-wins semantics exactly (an alternation alone
+    would implement earliest-*position* match, a different priority
+    rule).
     """
 
     def __init__(self, ruleset: Ruleset):
         self.ruleset = ruleset
-        self._compiled: List[Tuple[Pattern[str], CategoryDef]] = [
-            (cat.compiled(), cat) for cat in ruleset
-        ]
-        self._prefilter: Optional[Pattern[str]] = None
-        if self._compiled:
-            self._prefilter = re.compile(
-                "|".join(scoped_pattern(cat) for cat in ruleset)
-            )
+        self._fast: CompiledRuleset = compiled_ruleset(ruleset)
+        #: The per-rule (pattern, category) scan the fast path shortcuts;
+        #: kept because the equivalence tests (and the fallback when
+        #: ``_prefilter`` is cleared) run it directly.
+        self._compiled: List[Tuple[Pattern[str], CategoryDef]] = list(
+            self._fast._ordered
+        )
+        #: The combined reject-filter pattern.  Setting this to ``None``
+        #: disables the fast path entirely (the differential tests use
+        #: that to build a reference tagger); an empty ruleset has none.
+        self._prefilter: Optional[Pattern[str]] = self._fast.prefilter
+
+    def match_text(self, text: str) -> Optional[CategoryDef]:
+        """The first rule matching ``text``, or ``None``."""
+        if self._prefilter is None:
+            for pattern, category in self._compiled:
+                if pattern.search(text):
+                    return category
+            return None
+        return self._fast.match_text(text)
+
+    def match_texts(self, texts: Sequence[str]) -> List[Tuple[int, CategoryDef]]:
+        """Batch form of :meth:`match_text`: ``(position, category)`` for
+        every matching text, in order.  Strict: a non-string element
+        raises exactly as the per-record path would."""
+        if self._prefilter is None:
+            compiled = self._compiled
+            hits: List[Tuple[int, CategoryDef]] = []
+            for i, text in enumerate(texts):
+                for pattern, category in compiled:
+                    if pattern.search(text):
+                        hits.append((i, category))
+                        break
+            return hits
+        return self._fast.match_texts(texts)
 
     def match(self, record: LogRecord) -> Optional[CategoryDef]:
         """The first rule matching this record, or ``None``."""
-        text = record.full_text()
-        if self._prefilter is not None and self._prefilter.search(text) is None:
-            return None
-        for pattern, category in self._compiled:
-            if pattern.search(text):
-                return category
-        return None
+        return self.match_text(record.full_text())
 
     def tag(self, record: LogRecord) -> Optional[Alert]:
         """Tag one record; ``None`` when no rule matches (not an alert)."""
@@ -223,6 +217,11 @@ class RulesetHandle:
 
     def tagger(self) -> Tagger:
         return Tagger(self.resolve())
+
+    def compiled(self) -> CompiledRuleset:
+        """The per-process cached compiled form of this system's ruleset
+        (worker initializers and batch paths share one compile)."""
+        return compiled_ruleset(self.resolve())
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ byte-identical (bounded: within shedding tolerance).
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Deque, Iterator, List, Optional, Protocol, Tuple, runtime_checkable
 
 from ..logmodel.record import LogRecord
@@ -72,8 +73,24 @@ class Driver(Protocol):
     ) -> DriverReport: ...
 
 
+#: Records per batch on the serial fast path: large enough to amortize
+#: the per-batch joins/compress calls, small enough to keep the working
+#: set (records + rendered lines + encoded bytes) in cache.
+SERIAL_BATCH_SIZE = 4096
+
+
 class SerialDriver:
-    """The reference schedule: one record at a time, in process."""
+    """The reference schedule: one record at a time, in process.
+
+    Without a checkpointer the records move in batches through
+    :meth:`AlertPath.process_batch` — semantically the same per-record
+    loop (the path falls back to it whenever per-record observability
+    matters, e.g. quarantine mode), but with the per-record render/
+    encode/compress/severity overhead amortized per batch.  A
+    checkpointer forces the genuine per-record loop: the serial driver's
+    checkpoint barrier is *any record*, and batching would quantize the
+    snapshot cadence.
+    """
 
     name = "serial"
 
@@ -83,12 +100,19 @@ class SerialDriver:
         path: AlertPath,
         checkpointer: Optional[CheckpointManager] = None,
     ) -> DriverReport:
+        if checkpointer is None:
+            stream = iter(source)
+            while True:
+                batch = list(islice(stream, SERIAL_BATCH_SIZE))
+                if not batch:
+                    break
+                path.process_batch(batch)
+            return DriverReport()
         for record in source:
             if not path.admit(record):
                 continue
             path.process(record)
-            if checkpointer is not None:
-                checkpointer.maybe(path.consumed, path.snapshot)
+            checkpointer.maybe(path.consumed, path.snapshot)
         return DriverReport()
 
 
@@ -122,20 +146,15 @@ class ShardedDriver:
         path: AlertPath,
         checkpointer: Optional[CheckpointManager] = None,
     ) -> DriverReport:
+        if path.dead_letters is None:
+            return self._run_strict(source, path, checkpointer)
         pending: Deque[Tuple[List[LogRecord], Optional[List[bool]]]] = deque()
-        strict = path.dead_letters is None
 
         def shipped() -> Iterator[List[LogRecord]]:
-            """Cut raw batches; ship the valid subsequence to workers.
-            In strict mode everything ships (the serial path does not
-            validate either) and worker errors re-raise in the parent."""
+            """Cut raw batches; ship the valid subsequence to workers."""
             for raw_batch in chunked(source, self.config.batch_size):
-                if strict:
-                    flags = None
-                    valid = raw_batch
-                else:
-                    flags = [path.valid(r) for r in raw_batch]
-                    valid = [r for r, ok in zip(raw_batch, flags) if ok]
+                flags = [path.valid(r) for r in raw_batch]
+                valid = [r for r, ok in zip(raw_batch, flags) if ok]
                 pending.append((raw_batch, flags))
                 yield valid
 
@@ -157,6 +176,27 @@ class ShardedDriver:
                     shipped_index += 1
                     if alert is not None:
                         path.offer(alert)
+                if checkpointer is not None:
+                    checkpointer.maybe(path.consumed, path.snapshot)
+            shard_stats = sharded.stats
+        return DriverReport(shard_stats=shard_stats)
+
+    def _run_strict(
+        self,
+        source: Iterator[LogRecord],
+        path: AlertPath,
+        checkpointer: Optional[CheckpointManager],
+    ) -> DriverReport:
+        """Strict mode ships every record (the serial path does not
+        validate either), so the shipped batch *is* the raw batch and
+        each merged outcome replays through the path's batch form.  The
+        checkpoint barrier is unchanged — after batch *i* the path
+        reflects exactly batches ``0..i``."""
+        with ShardedTagger(path.system, self.config) as sharded:
+            for batch, outcome in sharded.tag_batches(
+                chunked(source, self.config.batch_size)
+            ):
+                path.process_tagged_batch(batch, outcome)
                 if checkpointer is not None:
                     checkpointer.maybe(path.consumed, path.snapshot)
             shard_stats = sharded.stats

@@ -29,7 +29,7 @@ checkpoint/resume works identically under every driver.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..core.filtering import (
     DEFAULT_THRESHOLD,
@@ -56,7 +56,7 @@ from ..resilience.deadletter import (
 )
 from ..parallel.sharded import TaggerErrorReplay
 from .result import PipelineResult
-from .stages import AlertListSink
+from .stages import AlertListSink, emit_batch
 
 #: How far back an alert timestamp may run (collector fan-in jitter,
 #: syslog's one-second granularity) before it is quarantined rather than
@@ -216,6 +216,87 @@ class AlertPath:
         alert = self.tag(record)
         if alert is not None:
             self.offer(alert)
+
+    # -- the batch shapes --------------------------------------------------
+    #
+    # Semantically these are loops over the per-record methods above; the
+    # batch forms exist because per-record call overhead (render, encode,
+    # compress, severity bookkeeping) dominates the serial hot path.
+    # Quarantine mode keeps the genuine per-record loop: dead-letter
+    # interleaving is part of the observable contract, and quarantined
+    # runs are never the throughput-critical ones.
+
+    def process_batch(self, records: Sequence[LogRecord]) -> None:
+        """Admit and process a whole batch (the serial driver's unit).
+
+        Strict mode (no dead-letter queue) runs fully batched: one
+        stats observation, one severity tally, and one in-order pass of
+        filter offers — byte-identical to the per-record loop, which the
+        engine equivalence tests pin.  Errors still propagate (strict),
+        though a mid-batch crash leaves the already-abandoned path with
+        the whole batch observed rather than a prefix; strict crashes
+        discard the path either way.
+        """
+        if self.dead_letters is not None:
+            for record in records:
+                if self.admit(record):
+                    self.process(record)
+            return
+        n = len(records)
+        if n == 0:
+            return
+        self.consumed += n
+        self.stats_collector.observe_batch(records)
+        self.corrupted += sum(1 for r in records if r.corrupted)
+        texts = [
+            f"{r.facility}: {r.body}" if r.facility else r.body
+            for r in records
+        ]
+        hits = self.tagger.match_texts(texts)
+        self.severity_tab.add_batch(records, [i for i, _ in hits])
+        if not hits:
+            return
+        offer = self.filter.offer
+        pairs = []
+        from_record = Alert.from_record
+        for i, category in hits:
+            alert = from_record(records[i], category)
+            pairs.append((alert, offer(alert)))
+        emit_batch(self.sink, pairs)
+
+    def process_tagged_batch(self, records, outcome) -> None:
+        """The batch form of the sharded replay: ``outcome`` is a
+        :class:`~repro.core.tagging.BatchOutcome` computed by the worker
+        pool for exactly ``records``.  Strict mode only — the sharded
+        driver keeps its per-record replay when a dead-letter queue (or
+        a worker error, whose position in the stream is observable in
+        strict mode) is involved."""
+        errors = outcome.errors
+        if self.dead_letters is not None or errors:
+            error_map = outcome.error_map()
+            hit_map = outcome.hit_map()
+            for i, record in enumerate(records):
+                if not self.admit(record):
+                    continue
+                self.observe(record)
+                alert = self.apply_tagged(
+                    record, alert=hit_map.get(i), error=error_map.get(i)
+                )
+                if alert is not None:
+                    self.offer(alert)
+            return
+        n = len(records)
+        if n == 0:
+            return
+        self.consumed += n
+        self.stats_collector.observe_batch(records)
+        self.corrupted += sum(1 for r in records if r.corrupted)
+        self.severity_tab.add_batch(records, [i for i, _ in outcome.hits])
+        if not outcome.hits:
+            return
+        offer = self.filter.offer
+        pairs = [(alert, offer(alert)) for _i, alert in outcome.hits]
+        emit_batch(self.sink, pairs)
 
     # -- resumability ------------------------------------------------------
 

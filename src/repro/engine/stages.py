@@ -24,7 +24,16 @@ instead of forked loops.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Protocol, runtime_checkable
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..core.categories import Alert
 from ..core.filtering import FilterReport
@@ -47,16 +56,68 @@ SourceFactory = Callable[[], Iterable[LogRecord]]
 
 @runtime_checkable
 class Stage(Protocol):
-    """One per-record processing step with internal state."""
+    """One per-record processing step with internal state.
+
+    ``process`` is the required contract.  A stage *may* also provide
+    ``process_batch(records)`` — drivers route whole batches through it
+    via :func:`process_batch`, which falls back to the per-record loop,
+    so third-party stages written against the original protocol keep
+    working unchanged.
+    """
 
     def process(self, record: LogRecord) -> None: ...
 
 
 @runtime_checkable
+class BatchStage(Stage, Protocol):
+    """A stage that also accepts whole record batches."""
+
+    def process_batch(self, records: Sequence[LogRecord]) -> None: ...
+
+
+@runtime_checkable
 class Sink(Protocol):
-    """Receives every alert the filter ruled on, with the verdict."""
+    """Receives every alert the filter ruled on, with the verdict.
+
+    ``emit`` is the required contract; a sink *may* also provide
+    ``emit_batch(pairs)`` for ``(alert, kept)`` sequences — see
+    :func:`emit_batch` for the dispatching fallback.
+    """
 
     def emit(self, alert: Alert, kept: bool) -> None: ...
+
+
+@runtime_checkable
+class BatchSink(Sink, Protocol):
+    """A sink that also accepts whole ``(alert, kept)`` batches."""
+
+    def emit_batch(self, pairs: Sequence[Tuple[Alert, bool]]) -> None: ...
+
+
+def process_batch(stage: Stage, records: Sequence[LogRecord]) -> None:
+    """Feed a batch to ``stage``, preferring its native batch method.
+
+    The default for stages that only implement ``process`` is the exact
+    per-record loop the drivers always ran, so batch-first drivers
+    compose with third-party per-record stages unchanged.
+    """
+    native = getattr(stage, "process_batch", None)
+    if native is not None:
+        native(records)
+        return
+    for record in records:
+        stage.process(record)
+
+
+def emit_batch(sink: Sink, pairs: Sequence[Tuple[Alert, bool]]) -> None:
+    """Feed ``(alert, kept)`` pairs to ``sink``, preferring its native
+    batch method and falling back to per-pair :meth:`Sink.emit`."""
+    native = getattr(sink, "emit_batch", None)
+    if native is not None:
+        native(pairs)
+        return
+    for alert, kept in pairs:
+        sink.emit(alert, kept)
 
 
 class AlertListSink:
@@ -81,3 +142,13 @@ class AlertListSink:
         self.report.record(alert, kept)
         if kept:
             self.filtered_alerts.append(alert)
+
+    def emit_batch(self, pairs: Sequence[Tuple[Alert, bool]]) -> None:
+        raw_append = self.raw_alerts.append
+        kept_append = self.filtered_alerts.append
+        record = self.report.record
+        for alert, kept in pairs:
+            raw_append(alert)
+            record(alert, kept)
+            if kept:
+                kept_append(alert)

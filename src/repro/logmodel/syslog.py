@@ -134,6 +134,36 @@ def parse_syslog_line(
     )
 
 
+#: Month abbreviations pinned as a tuple: ``calendar.month_abbr`` is a
+#: locale-aware proxy whose ``__getitem__`` costs a function call per
+#: render — measurable at millions of records.
+_MONTH_ABBR = tuple(calendar.month_abbr)
+
+#: Timestamp-second -> rendered stamp.  Syslog has one-second granularity
+#: and log records arrive in bursts within the same second, so the stamp
+#: — the expensive part of rendering (``gmtime`` plus ``%``-formatting)
+#: — memoizes extremely well.  Bounded: cleared wholesale when full.
+_STAMP_CACHE: dict = {}
+_STAMP_CACHE_MAX = 16384
+
+
+def _stamp_for(second) -> str:
+    stamp = _STAMP_CACHE.get(second)
+    if stamp is None:
+        if len(_STAMP_CACHE) >= _STAMP_CACHE_MAX:
+            _STAMP_CACHE.clear()
+        parts = time.gmtime(second)
+        stamp = "%s %2d %02d:%02d:%02d" % (
+            _MONTH_ABBR[parts.tm_mon],
+            parts.tm_mday,
+            parts.tm_hour,
+            parts.tm_min,
+            parts.tm_sec,
+        )
+        _STAMP_CACHE[second] = stamp
+    return stamp
+
+
 def render_syslog_line(record: LogRecord) -> str:
     """Render a record back to BSD syslog format.
 
@@ -144,14 +174,15 @@ def render_syslog_line(record: LogRecord) -> str:
     """
     if record.corrupted and record.raw is not None:
         return record.raw
-    parts = time.gmtime(record.timestamp)
-    stamp = "%s %2d %02d:%02d:%02d" % (
-        calendar.month_abbr[parts.tm_mon],
-        parts.tm_mday,
-        parts.tm_hour,
-        parts.tm_min,
-        parts.tm_sec,
-    )
+    timestamp = record.timestamp
+    try:
+        # gmtime() floors float seconds; flooring ourselves makes the
+        # memo key exact for every timestamp in the same second.
+        second = int(timestamp // 1)
+    except (TypeError, ValueError, OverflowError):
+        # NaN/exotic timestamps: let gmtime raise its historical error.
+        second = timestamp
+    stamp = _stamp_for(second)
     if record.facility:
         return f"{stamp} {record.source} {record.facility}: {record.body}"
     return f"{stamp} {record.source} {record.body}"

@@ -9,8 +9,8 @@ order-preserving merge.  Serial and parallel runs are therefore
 byte-for-byte equivalent — a claim the differential test harness
 (``tests/parallel/``) enforces, not just asserts.
 
-Entry points: ``pipeline.run_stream(..., parallel=ParallelConfig(...))``,
-``pipeline.run_system(..., parallel=...)``, and the CLI's
+Entry points: ``api.run_stream(..., parallel=ParallelConfig(...))``,
+``api.run_system(..., parallel=...)``, and the CLI's
 ``study --workers N --batch-size B``.
 """
 

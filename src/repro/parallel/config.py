@@ -4,7 +4,7 @@ One frozen object describes how a run fans tagging out to worker
 processes: how many workers, how many records per shipped batch, how many
 batches may be in flight at once (the memory bound), which
 multiprocessing start method to use, and how a crashed worker's batch is
-handled.  It travels through :func:`repro.pipeline.run_stream` and the
+handled.  It travels through :func:`repro.api.run_stream` and the
 CLI (``study --workers/--batch-size``) the same way
 :class:`~repro.resilience.backpressure.BackpressureConfig` does.
 """

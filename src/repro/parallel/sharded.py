@@ -32,6 +32,7 @@ Replay-once is therefore duplicate-free by construction, and the
 from __future__ import annotations
 
 import os
+from array import array
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -48,6 +49,10 @@ from .merge import OrderedMerge
 #: mid-batch via ``os._exit``, modeling a hard crash (no cleanup, no
 #: partial output).  Inert unless ``ParallelConfig.enable_test_faults``.
 KILL_SENTINEL = "__REPRO_KILL_WORKER__"
+
+#: The sentinel as it appears in a facility-prefixed match text (the
+#: worker sees texts, not records, since the byte-buffer boundary).
+_KILL_TEXT_SUFFIX = f": {KILL_SENTINEL}"
 
 
 class WorkerCrashError(RuntimeError):
@@ -87,9 +92,50 @@ class ShardStats:
 
 
 # ---------------------------------------------------------------------------
+# The byte-buffer boundary.
+#
+# Pickling per-record LogRecord objects was the dominant cost of the
+# sharded schedule (~2.6 us/record each way — more than the entire
+# serial per-record budget).  The boundary now ships one length-prefixed
+# byte buffer per batch: the UTF-8 bytes of every record's match text,
+# concatenated, preceded by an array of per-text character lengths.  The
+# worker decodes the blob once, slices texts by length, and returns only
+# compact ``(position, rule_index)`` hits — the parent rebuilds Alert
+# objects from the records it already holds, so nothing heavyweight
+# crosses the process boundary in either direction.
+#
+# Records whose match text is not a string (corrupt non-str bodies with
+# no facility prefix) cannot travel as text; the parent resolves those
+# locally through the same serial Tagger used for crash replay, which
+# reproduces the strict path's exception reprs exactly.
+# ---------------------------------------------------------------------------
+
+_LENGTH_TYPECODE = "I"
+
+
+def _match_texts(records: Sequence[LogRecord]) -> List[str]:
+    """Every record's ``full_text()``, computed inline (hot path)."""
+    return [
+        f"{r.facility}: {r.body}" if r.facility else r.body for r in records
+    ]
+
+
+def _encode_texts(texts: Sequence[str]) -> Tuple[bytes, bytes]:
+    """One batch's texts as (length-prefix array bytes, UTF-8 blob).
+
+    Lengths are in *characters*: the worker decodes the whole blob once
+    (UTF-8 is stateless, so the concatenated decode equals per-text
+    decodes) and slices the string, which is far cheaper than decoding
+    per text.  ``surrogatepass`` round-trips lone surrogates that
+    corruption (or a property-based test) may have planted in a body.
+    """
+    lens = array(_LENGTH_TYPECODE, map(len, texts))
+    blob = "".join(texts).encode("utf-8", "surrogatepass")
+    return lens.tobytes(), blob
+
+
 # Worker-process side.  Module-level state: each worker compiles the
 # ruleset exactly once (the initializer), then tags batches forever.
-# ---------------------------------------------------------------------------
 
 _WORKER_TAGGER: Optional[Tagger] = None
 _WORKER_TEST_FAULTS = False
@@ -101,17 +147,42 @@ def _init_worker(handle: RulesetHandle, enable_test_faults: bool) -> None:
     _WORKER_TEST_FAULTS = enable_test_faults
 
 
-def _tag_batch(
-    index: int, records: Sequence[LogRecord]
-) -> Tuple[int, BatchOutcome]:
+#: Compact wire form of one batch's outcome: (size, ((pos, rule), ...),
+#: ((pos, error_repr), ...)).  Rule indices instead of Alert objects.
+_RawOutcome = Tuple[int, Tuple[Tuple[int, int], ...], Tuple[Tuple[int, str], ...]]
+
+
+def _tag_text_batch(
+    index: int, lens_bytes: bytes, blob: bytes
+) -> Tuple[int, _RawOutcome]:
     assert _WORKER_TAGGER is not None, "worker initializer did not run"
+    lens = array(_LENGTH_TYPECODE)
+    lens.frombytes(lens_bytes)
+    decoded = blob.decode("utf-8", "surrogatepass")
+    match_index = _WORKER_TAGGER._fast.match_index
+    hits: List[Tuple[int, int]] = []
+    errors: List[Tuple[int, str]] = []
+    pos = 0
     if _WORKER_TEST_FAULTS:
-        for record in records:
-            if isinstance(record.body, str) and record.body == KILL_SENTINEL:
+        probe = 0
+        for length in lens:
+            text = decoded[probe:probe + length]
+            probe += length
+            if text == KILL_SENTINEL or text.endswith(_KILL_TEXT_SUFFIX):
                 # A hard mid-batch death: no exception travels back, the
                 # parent sees only a broken pool.
                 os._exit(17)
-    return index, _WORKER_TAGGER.tag_batch(records)
+    for i, length in enumerate(lens):
+        text = decoded[pos:pos + length]
+        pos += length
+        try:
+            rule = match_index(text)
+        except Exception as exc:  # pragma: no cover - str input never raises
+            errors.append((i, repr(exc)))
+            continue
+        if rule is not None:
+            hits.append((i, rule))
+    return index, (len(lens), tuple(hits), tuple(errors))
 
 
 # ---------------------------------------------------------------------------
@@ -125,6 +196,12 @@ class _Inflight:
 
     index: int
     records: Sequence[LogRecord]
+    #: Locally-resolved entries for records whose text could not ship:
+    #: ``(position, alert_or_None, error_repr_or_None)``.
+    local: Optional[List[Tuple[int, Optional[Alert], Optional[str]]]] = None
+    #: Original position of each shipped text when some records stayed
+    #: local; ``None`` means the identity mapping (the common case).
+    shipped_map: Optional[List[int]] = None
     retried: bool = False
 
 
@@ -155,7 +232,10 @@ class ShardedTagger:
             ruleset if isinstance(ruleset, RulesetHandle)
             else RulesetHandle(ruleset)
         )
-        self.handle.resolve()  # fail fast on unknown systems
+        # Fail fast on unknown systems; the rule order of the resolved
+        # ruleset doubles as the wire contract (workers return indices
+        # into this tuple).
+        self._categories = tuple(self.handle.resolve().categories)
         self.config = config or ParallelConfig()
         self.stats = ShardStats(workers=self.config.resolved_workers())
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -209,6 +289,75 @@ class ShardedTagger:
         self.stats.batches_retried += 1
         return self._serial_tagger().tag_batch(task.records)
 
+    # -- the boundary ------------------------------------------------------
+
+    def _prepare_payload(self, task: _Inflight) -> Tuple[bytes, bytes]:
+        """Encode one batch for the wire, resolving locally the records
+        whose match text cannot travel as text (non-str bodies with no
+        facility prefix — the strict path's ``TypeError`` cases).  Local
+        resolution uses the same serial tagger as crash replay, so the
+        error reprs are byte-identical to the serial schedule's."""
+        records = task.records
+        texts = _match_texts(records)
+        try:
+            return _encode_texts(texts)
+        except TypeError:
+            pass
+        tagger = self._serial_tagger()
+        local: List[Tuple[int, Optional[Alert], Optional[str]]] = []
+        shipped_map: List[int] = []
+        shipped: List[str] = []
+        for i, text in enumerate(texts):
+            if isinstance(text, str):
+                shipped_map.append(i)
+                shipped.append(text)
+                continue
+            try:
+                alert = tagger.tag(records[i])
+            except Exception as exc:
+                local.append((i, None, repr(exc)))
+            else:
+                if alert is not None:  # pragma: no cover - non-str always raises
+                    local.append((i, alert, None))
+        task.local = local
+        task.shipped_map = shipped_map
+        return _encode_texts(shipped)
+
+    def _rebuild_outcome(self, task: _Inflight, raw: _RawOutcome) -> BatchOutcome:
+        """Expand a worker's compact ``(pos, rule)`` outcome back into
+        the :class:`BatchOutcome` contract, building Alert objects from
+        the records the parent already holds."""
+        _size, raw_hits, raw_errors = raw
+        records = task.records
+        categories = self._categories
+        shipped_map = task.shipped_map
+        if shipped_map is None:
+            hits = tuple(
+                (i, Alert.from_record(records[i], categories[rule]))
+                for i, rule in raw_hits
+            )
+            return BatchOutcome(
+                size=len(records), hits=hits, errors=tuple(raw_errors)
+            )
+        entries: List[Tuple[int, Optional[Alert], Optional[str]]] = [
+            (
+                shipped_map[i],
+                Alert.from_record(records[shipped_map[i]], categories[rule]),
+                None,
+            )
+            for i, rule in raw_hits
+        ]
+        entries.extend((shipped_map[i], None, err) for i, err in raw_errors)
+        entries.extend(task.local or ())
+        entries.sort(key=lambda entry: entry[0])
+        return BatchOutcome(
+            size=len(records),
+            hits=tuple((i, alert) for i, alert, _err in entries
+                       if alert is not None),
+            errors=tuple((i, err) for i, _alert, err in entries
+                         if err is not None),
+        )
+
     # -- the pipeline ------------------------------------------------------
 
     def tag_batches(
@@ -237,9 +386,10 @@ class ShardedTagger:
             """Submit one batch, absorbing a pool that broke since the
             last round: the batch replays serially (exactly once) and a
             fresh pool serves the next submission."""
+            lens_bytes, blob = self._prepare_payload(task)
             try:
                 future = self._ensure_pool().submit(
-                    _tag_batch, task.index, task.records
+                    _tag_text_batch, task.index, lens_bytes, blob
                 )
             except BrokenProcessPool as exc:
                 self.stats.worker_crashes += 1
@@ -273,7 +423,7 @@ class ShardedTagger:
                 for future in done:
                     task = inflight.pop(future)
                     try:
-                        index, outcome = future.result()
+                        index, raw = future.result()
                     except BrokenProcessPool as exc:
                         broken = True
                         self.stats.worker_crashes += 1
@@ -281,7 +431,7 @@ class ShardedTagger:
                             task.index, self._retry_serially(task, repr(exc))
                         )
                         continue
-                    merge.add(index, outcome)
+                    merge.add(index, self._rebuild_outcome(task, raw))
                 if broken:
                     # The pool is poisoned: the executor fails every
                     # sibling future too.  Collect each one — normal
@@ -290,14 +440,14 @@ class ShardedTagger:
                     for future, task in list(inflight.items()):
                         del inflight[future]
                         try:
-                            index, outcome = future.result()
+                            index, raw = future.result()
                         except BrokenProcessPool as exc:
                             merge.add(
                                 task.index,
                                 self._retry_serially(task, repr(exc)),
                             )
                         else:
-                            merge.add(index, outcome)
+                            merge.add(index, self._rebuild_outcome(task, raw))
                     self._discard_pool()
 
             for outcome in merge.drain():

@@ -1,64 +1,29 @@
-"""End-to-end pipeline: generate -> measure -> tag -> filter -> analyze.
+"""Deprecated pipeline facade — use :mod:`repro.api`.
 
-This is the library's front door, wiring the substrate and the paper's
-contribution together the way Sections 3 and 4 do:
+This module was the library's historical front door.  The api_redesign
+PR moved the implementation to :mod:`repro.api` (which also carries the
+new stable surface: :func:`~repro.api.run`, :func:`~repro.api.tag_lines`,
+:func:`~repro.api.iter_alerts`, :func:`~repro.api.serve`).  The entry
+points below keep working but warn: update imports from
+``repro.pipeline`` to ``repro.api``.
 
-1. generate (or read) a machine's log stream;
-2. accumulate Table 2 volume statistics while streaming;
-3. tag alerts with the machine's expert ruleset (Section 3.2);
-4. filter with the simultaneous spatio-temporal algorithm (Section 3.3);
-5. keep everything an analysis needs (raw alerts, filtered alerts, cross
-   tabs, ground truth) on one result object.
-
-Since the stage-engine refactor this module is a thin façade over
-:mod:`repro.engine`: the per-record semantics live exactly once in
-:class:`~repro.engine.path.AlertPath`, the execution schedule in the
-pluggable drivers (:mod:`repro.engine.drivers`), and composition rules
-in one capability table (:mod:`repro.engine.capabilities`).  The knobs
-compose orthogonally — ``parallel`` with ``checkpointer``/``resume_from``
-(snapshots at batch barriers), ``parallel`` with ``backpressure`` (the
-bounded ingest queue feeds the sharded tagger's in-flight window), and
-either with supervision — where the historical forked loops forbade
-those pairs.
-
-The pipeline survives the collection-path pathologies the paper
-documents (Sections 3.1-3.2): attach a
-:class:`~repro.resilience.deadletter.DeadLetterQueue` and records the
-stages cannot process are quarantined instead of crashing the run; attach
-a :class:`~repro.resilience.checkpoint.CheckpointManager` and the run can
-be resumed after a crash via ``resume_from`` without reprocessing — or
-pass ``faults=``/``supervised=True`` to :func:`run_system`/:func:`run_all`
-and the :class:`~repro.resilience.supervisor.PipelineSupervisor` does all
-of that wiring, restarts crashed runs, and degrades gracefully when its
-restart budget runs out.
-
-Example::
-
-    from repro import pipeline
-    result = pipeline.run_system("spirit", scale=1e-4, seed=42)
-    print(result.summary())
+Constants and :class:`~repro.engine.result.PipelineResult` re-export
+silently — they are values, not entry points, and checkpoint payloads or
+type annotations referencing them should not warn on import.
 """
 
 from __future__ import annotations
 
-from itertools import islice
-from typing import Dict, Iterable, Optional
+import warnings
 
-from .core.filtering import DEFAULT_THRESHOLD
-from .engine.capabilities import build_driver, validate_run_config
-from .engine.path import DEFAULT_REORDER_TOLERANCE, AlertPath
-from .engine.result import PipelineResult
-from .logmodel.record import LogRecord
-from .resilience.backpressure import BackpressureConfig
-from .resilience.checkpoint import CheckpointManager, PipelineCheckpoint
-from .resilience.deadletter import DeadLetterQueue
-from .parallel.config import ParallelConfig
-from .simulation.generator import GeneratedLog, LogGenerator
-
-#: Supervised defaults, applied when ``run_system(supervised=True)`` /
-#: ``faults=...`` is used without explicit budget/cadence knobs.
-DEFAULT_RESTART_BUDGET = 3
-DEFAULT_CHECKPOINT_EVERY = 2000
+from . import api as _api
+from .api import (  # noqa: F401  (silent re-exports)
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_REORDER_TOLERANCE,
+    DEFAULT_RESTART_BUDGET,
+    DEFAULT_THRESHOLD,
+    PipelineResult,
+)
 
 __all__ = [
     "DEFAULT_CHECKPOINT_EVERY",
@@ -71,187 +36,21 @@ __all__ = [
     "run_system",
 ]
 
-
-def run_stream(
-    records: Iterable[LogRecord],
-    system: str,
-    threshold: float = DEFAULT_THRESHOLD,
-    generated: Optional[GeneratedLog] = None,
-    dead_letters: Optional[DeadLetterQueue] = None,
-    checkpointer: Optional[CheckpointManager] = None,
-    resume_from: Optional[PipelineCheckpoint] = None,
-    reorder_tolerance: float = DEFAULT_REORDER_TOLERANCE,
-    backpressure: Optional[BackpressureConfig] = None,
-    parallel: Optional[ParallelConfig] = None,
-) -> PipelineResult:
-    """Run the measurement/tag/filter pipeline over any record stream.
-
-    Single pass: volume statistics, severity cross-tab, tagging, and
-    filtering all happen as the stream flows through, so an arbitrarily
-    large log needs constant memory beyond the alert lists.
-
-    With ``dead_letters`` attached the pipeline quarantines what it cannot
-    process — malformed records, records that crash the tagger, alerts
-    whose timestamps run backwards beyond ``reorder_tolerance`` — instead
-    of raising.  Without a queue the historical strict behavior holds.
-
-    With a ``checkpointer``, resumable snapshots are taken at the chosen
-    driver's consistency barrier (serial: every ``checkpointer.every``
-    input records; sharded: batch boundaries; bounded: drained-queue
-    barriers); pass the last snapshot back as ``resume_from`` (with the
-    *same* deterministic stream) after a crash and the run continues
-    without reprocessing, landing byte-identical to an uninterrupted run
-    (bounded: within shedding tolerance).
-
-    With ``backpressure`` (a :class:`BackpressureConfig`), the stages run
-    behind bounded queues with credit-based flow control and
-    priority-aware load shedding — see
-    :class:`~repro.engine.drivers.BoundedDriver` — and the result carries
-    an :class:`~repro.resilience.backpressure.OverloadReport`.
-
-    With ``parallel`` (a :class:`ParallelConfig`), tagging fans out to
-    worker processes — see :class:`~repro.engine.drivers.ShardedDriver`
-    — while stats, severity, and the spatio-temporal filter stay the
-    single sequential consumer of the order-preserved merge, so the
-    result is identical to a serial run (the differential suites in
-    ``tests/parallel/`` and ``tests/engine/`` enforce this).  Both knobs
-    compose with each other and with checkpoint/resume; see
-    :data:`repro.engine.capabilities.CAPABILITY_TABLE`.
-    """
-    validate_run_config(parallel=parallel, backpressure=backpressure)
-    if backpressure is not None and dead_letters is None:
-        # Bounded mode must never lose a tagged alert silently: the spill
-        # path needs somewhere accounted to land.
-        dead_letters = DeadLetterQueue()
-
-    path = AlertPath(
-        system,
-        threshold=threshold,
-        dead_letters=dead_letters,
-        reorder_tolerance=reorder_tolerance,
-        resume_from=resume_from,
-    )
-    source = iter(records)
-    if resume_from is not None:
-        source = islice(source, path.consumed, None)
-    if checkpointer is not None:
-        checkpointer.prime(resume_from)
-
-    driver = build_driver(parallel=parallel, backpressure=backpressure)
-    report = driver.run(source, path, checkpointer)
-
-    return path.result(
-        generated=generated,
-        shard_stats=report.shard_stats,
-        overload=report.overload,
-        checkpoints=checkpointer,
-    )
+#: Entry points that warn on access; everything else re-exports silently.
+_DEPRECATED = frozenset({"run_stream", "run_system", "run_all"})
 
 
-def run_system(
-    system: str,
-    scale: float = 1e-4,
-    seed: int = 2007,
-    threshold: float = DEFAULT_THRESHOLD,
-    incident_scale: float = 1.0,
-    faults=None,
-    supervised: bool = False,
-    restart_budget: Optional[int] = None,
-    checkpoint_every: Optional[int] = None,
-    backpressure: Optional[BackpressureConfig] = None,
-    parallel: Optional[ParallelConfig] = None,
-    **generator_kwargs,
-) -> PipelineResult:
-    """Generate one machine's log and run the full pipeline over it.
-
-    Pass ``faults`` (a :class:`~repro.resilience.faults.FaultConfig`) or
-    ``supervised=True`` to run under the pipeline supervisor: injected or
-    real worker failures are caught, the run restarts from the latest
-    checkpoint (at most ``restart_budget`` times, default
-    :data:`DEFAULT_RESTART_BUDGET`), and the result reports
-    ``degraded``/dead-letter state instead of raising.
-
-    Pass ``checkpoint_every`` to snapshot every N input records whether or
-    not the run is supervised: an unsupervised run attaches a real
-    :class:`CheckpointManager` and exposes it as ``result.checkpoints``
-    (``result.checkpoints.latest`` is the resume point after a crash).
-    ``restart_budget`` without supervision raises — there is nothing to
-    restart — instead of being silently ignored as it historically was.
-
-    ``backpressure``, ``parallel``, supervision, and checkpointing all
-    compose; see :data:`repro.engine.capabilities.CAPABILITY_TABLE` for
-    each combination's checkpoint barrier and equivalence guarantee.
-    """
-    validate_run_config(
-        parallel=parallel, backpressure=backpressure, faults=faults,
-        supervised=supervised, restart_budget=restart_budget,
-        checkpoint_every=checkpoint_every,
-    )
-    if faults is not None or supervised:
-        from .resilience.supervisor import PipelineSupervisor
-
-        supervisor = PipelineSupervisor(
-            restart_budget=(
-                DEFAULT_RESTART_BUDGET if restart_budget is None
-                else restart_budget
-            ),
-            checkpoint_every=(
-                DEFAULT_CHECKPOINT_EVERY if checkpoint_every is None
-                else checkpoint_every
-            ),
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        warnings.warn(
+            f"repro.pipeline.{name} is deprecated; "
+            f"use repro.api.{name} instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return supervisor.run_system(
-            system, scale=scale, seed=seed, threshold=threshold,
-            incident_scale=incident_scale, faults=faults,
-            backpressure=backpressure, parallel=parallel,
-            **generator_kwargs,
-        )
-    generator = LogGenerator(
-        system, scale=scale, seed=seed, incident_scale=incident_scale,
-        **generator_kwargs,
-    )
-    generated = generator.generate()
-    checkpointer = (
-        CheckpointManager(every=checkpoint_every)
-        if checkpoint_every is not None else None
-    )
-    return run_stream(
-        generated.records, system, threshold=threshold, generated=generated,
-        checkpointer=checkpointer, backpressure=backpressure,
-        parallel=parallel,
-    )
+        return getattr(_api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def run_all(
-    scale: float = 1e-4,
-    seed: int = 2007,
-    threshold: float = DEFAULT_THRESHOLD,
-    faults=None,
-    supervised: bool = False,
-    restart_budget: Optional[int] = None,
-    checkpoint_every: Optional[int] = None,
-    backpressure: Optional[BackpressureConfig] = None,
-    parallel: Optional[ParallelConfig] = None,
-    **generator_kwargs,
-) -> Dict[str, PipelineResult]:
-    """Run the pipeline for all five machines (Table 2's full study).
-
-    With ``faults``/``supervised`` the whole study runs under supervision:
-    every system completes — possibly degraded, never raising — and each
-    result carries its dead-letter and restart accounting.  With
-    ``backpressure``, every system runs bounded; each gets its own queues
-    and accounting.  With ``parallel``, every system's tagging is sharded
-    across worker processes (each system gets its own pool).  The knobs
-    compose, per system, exactly as in :func:`run_system`.
-    """
-    from .systems.specs import SYSTEMS
-
-    return {
-        name: run_system(
-            name, scale=scale, seed=seed, threshold=threshold,
-            faults=faults, supervised=supervised,
-            restart_budget=restart_budget, checkpoint_every=checkpoint_every,
-            backpressure=backpressure, parallel=parallel, **generator_kwargs,
-        )
-        for name in SYSTEMS
-    }
+def __dir__():
+    return sorted(__all__)

@@ -23,7 +23,7 @@ mechanics of that choice:
   per-stage throughput, and raises the ``sustained_overload`` flag the
   pipeline and supervisor use to enter degraded mode instead of OOM;
 * :class:`BackpressureConfig` — one object describing all of the above,
-  accepted by :func:`repro.pipeline.run_stream` and the supervisor.
+  accepted by :func:`repro.api.run_stream` and the supervisor.
 
 Everything here is deliberately free of imports from the rest of the
 package (records, policies, and dead-letter queues are duck-typed), so

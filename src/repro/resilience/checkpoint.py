@@ -9,7 +9,7 @@ included, because the zlib compressor state is part of the snapshot.
 :class:`CheckpointManager` owns the cadence (snapshot every N input
 records) and retains the latest snapshot; :class:`PipelineCheckpoint` is
 the snapshot itself, deep enough that the live run mutating onward never
-contaminates it.  ``pipeline.run_stream(..., checkpointer=...,
+contaminates it.  ``api.run_stream(..., checkpointer=...,
 resume_from=...)`` does the wiring; the supervisor drives it after an
 injected (or real) crash.
 """

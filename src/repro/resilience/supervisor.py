@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from .. import pipeline as _pipeline
+from .. import api as _pipeline
 from ..core.filtering import DEFAULT_THRESHOLD, FilterReport
 from ..analysis.severity_eval import SeverityCrossTab
 from ..logio.stats import StatsCollector

@@ -28,7 +28,7 @@ import asyncio
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from typing import Deque, Optional, Sequence, Tuple
 
 from ..core.categories import Alert
 from ..core.filtering import FilterReport
@@ -99,6 +99,20 @@ class ServiceAlertSink:
         if kept:
             self.counters.alerts_filtered += 1
             self.filtered_alerts.append(alert)
+
+    def emit_batch(self, pairs: Sequence[Tuple[Alert, bool]]) -> None:
+        """Batch form of :meth:`emit` (same counts, same retention)."""
+        counters = self.counters
+        raw_append = self.raw_alerts.append
+        kept_append = self.filtered_alerts.append
+        record = self.report.record
+        counters.alerts_raw += len(pairs)
+        for alert, kept in pairs:
+            raw_append(alert)
+            record(alert, kept)
+            if kept:
+                counters.alerts_filtered += 1
+                kept_append(alert)
 
 
 @dataclass

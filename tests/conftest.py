@@ -11,7 +11,7 @@ import os
 import numpy as np
 import pytest
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.core.categories import Alert, AlertType
 from repro.logmodel.record import LogRecord
 

@@ -18,7 +18,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.logio.reader import read_log
 from repro.parallel import ParallelConfig
 from repro.systems.specs import SYSTEMS

@@ -9,7 +9,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.logio.reader import read_log
 from repro.systems.specs import SYSTEMS
 

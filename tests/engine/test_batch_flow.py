@@ -1,0 +1,212 @@
+"""Batch flow through the stage engine: protocols, helpers, and the
+batch/per-record differential.
+
+The batch-first refactor moves records through :class:`AlertPath` as
+lists (``process_batch``/``process_tagged_batch``) and through sinks as
+``(alert, kept)`` pair lists (``emit_batch``), while the per-record
+semantics stay expressed once in ``path.py``.  These tests pin:
+
+* the protocol dispatch helpers fall back to the per-record loop for
+  third-party stages/sinks that only implement the original contract;
+* ``AlertPath.process_batch`` over the golden corpus produces results
+  identical to the per-record ``process`` loop, batch size by batch size;
+* strict batch mode and dead-letter mode agree where both are defined.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tagging import RulesetHandle
+from repro.engine.path import AlertPath
+from repro.engine.stages import (
+    BatchSink,
+    BatchStage,
+    Sink,
+    Stage,
+    emit_batch,
+    process_batch,
+)
+from repro.logmodel.record import LogRecord
+from repro.resilience.deadletter import DeadLetterQueue
+
+from .conftest import ALL_SYSTEMS, assert_equivalent
+
+
+def record(t=1.0, body="ok", source="n1", system="liberty"):
+    return LogRecord(timestamp=t, source=source, facility="kernel",
+                     body=body, system=system)
+
+
+class RecordingStage:
+    """A third-party stage written against the original protocol."""
+
+    def __init__(self):
+        self.seen = []
+
+    def process(self, rec):
+        self.seen.append(rec)
+
+
+class RecordingBatchStage(RecordingStage):
+    def __init__(self):
+        super().__init__()
+        self.batches = 0
+
+    def process_batch(self, records):
+        self.batches += 1
+        self.seen.extend(records)
+
+
+class RecordingSink:
+    def __init__(self):
+        self.pairs = []
+
+    def emit(self, alert, kept):
+        self.pairs.append((alert, kept))
+
+
+class RecordingBatchSink(RecordingSink):
+    def __init__(self):
+        super().__init__()
+        self.batches = 0
+
+    def emit_batch(self, pairs):
+        self.batches += 1
+        self.pairs.extend(pairs)
+
+
+class TestProtocolDispatch:
+    def test_per_record_stage_gets_the_loop(self):
+        stage = RecordingStage()
+        records = [record(t=float(i)) for i in range(5)]
+        process_batch(stage, records)
+        assert stage.seen == records
+        assert isinstance(stage, Stage)
+        assert not isinstance(stage, BatchStage)
+
+    def test_batch_stage_gets_one_call(self):
+        stage = RecordingBatchStage()
+        records = [record(t=float(i)) for i in range(5)]
+        process_batch(stage, records)
+        assert stage.seen == records
+        assert stage.batches == 1
+        assert isinstance(stage, BatchStage)
+
+    def test_per_pair_sink_gets_the_loop(self):
+        sink = RecordingSink()
+        pairs = [(object(), True), (object(), False)]
+        emit_batch(sink, pairs)
+        assert sink.pairs == pairs
+        assert isinstance(sink, Sink)
+        assert not isinstance(sink, BatchSink)
+
+    def test_batch_sink_gets_one_call(self):
+        sink = RecordingBatchSink()
+        pairs = [(object(), True), (object(), False)]
+        emit_batch(sink, pairs)
+        assert sink.pairs == pairs
+        assert sink.batches == 1
+        assert isinstance(sink, BatchSink)
+
+    def test_alert_path_is_a_batch_stage(self):
+        assert isinstance(AlertPath("liberty"), BatchStage)
+
+    def test_alert_list_sink_is_a_batch_sink(self):
+        path = AlertPath("liberty")
+        assert isinstance(path.sink, BatchSink)
+
+
+class TestEmitBatchEquivalence:
+    def _pairs(self, system="liberty"):
+        handle = RulesetHandle(system)
+        tagger = handle.tagger()
+        records = [
+            record(t=float(i), body=cat.example or "quiet", system=system)
+            for i, cat in enumerate(handle.resolve())
+        ]
+        pairs = []
+        for i, rec in enumerate(records):
+            alert = tagger.tag(rec)
+            if alert is not None:
+                pairs.append((alert, i % 2 == 0))
+        return pairs
+
+    def test_alert_list_sink_batch_equals_loop(self):
+        pairs = self._pairs()
+        assert pairs, "fixture must produce alerts"
+        a = AlertPath("liberty").sink
+        b = AlertPath("liberty").sink
+        a.emit_batch(pairs)
+        for alert, kept in pairs:
+            b.emit(alert, kept)
+        assert a.raw_alerts == b.raw_alerts
+        assert a.filtered_alerts == b.filtered_alerts
+        assert a.report.raw_total == b.report.raw_total
+        assert a.report.filtered_total == b.report.filtered_total
+        assert a.report.by_category == b.report.by_category
+
+    def test_service_sink_batch_equals_loop(self):
+        from repro.core.filtering import FilterReport
+        from repro.service.accounting import TenantCounters
+        from repro.service.tenant import ServiceAlertSink
+
+        pairs = self._pairs()
+        a = ServiceAlertSink(FilterReport(threshold=5.0), TenantCounters(), tail=64)
+        b = ServiceAlertSink(FilterReport(threshold=5.0), TenantCounters(), tail=64)
+        a.emit_batch(pairs)
+        for alert, kept in pairs:
+            b.emit(alert, kept)
+        assert list(a.raw_alerts) == list(b.raw_alerts)
+        assert list(a.filtered_alerts) == list(b.filtered_alerts)
+        assert a.counters.alerts_raw == b.counters.alerts_raw
+        assert a.counters.alerts_filtered == b.counters.alerts_filtered
+
+
+class TestBatchPathDifferential:
+    """process_batch must be observationally identical to the loop."""
+
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    @pytest.mark.parametrize("batch_size", [1, 7, 4096])
+    def test_strict_batches_equal_per_record(
+        self, golden_records, serial_baselines, system, batch_size
+    ):
+        records = golden_records[system]
+        path = AlertPath(system)
+        for start in range(0, len(records), batch_size):
+            path.process_batch(records[start:start + batch_size])
+        assert_equivalent(path.result(), serial_baselines[system])
+
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_dead_letter_batches_equal_per_record(
+        self, golden_records, system
+    ):
+        records = golden_records[system]
+        a = AlertPath(system, dead_letters=DeadLetterQueue())
+        b = AlertPath(system, dead_letters=DeadLetterQueue())
+        a.process_batch(records)
+        for rec in records:
+            b.process(rec)
+        assert_equivalent(a.result(), b.result())
+        assert a.dead_letters.quarantined == b.dead_letters.quarantined
+
+    def test_empty_batch_is_a_no_op(self):
+        path = AlertPath("liberty")
+        path.process_batch([])
+        assert path.consumed == 0
+        assert path.result().raw_alert_count == 0
+
+    def test_tagged_batch_with_errors_falls_back(self):
+        """process_tagged_batch with a worker-reported error must raise
+        exactly where the per-record loop would (strict mode)."""
+        from repro.core.tagging import BatchOutcome
+        from repro.parallel.sharded import TaggerErrorReplay
+
+        path = AlertPath("liberty")
+        records = [record(t=1.0), record(t=2.0)]
+        outcome = BatchOutcome(
+            size=2, hits=(), errors=((1, "RuntimeError('boom')"),),
+        )
+        with pytest.raises(TaggerErrorReplay):
+            path.process_tagged_batch(records, outcome)
+        assert path.consumed == 2  # the clean record was consumed first

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.parallel.config import ParallelConfig
 from repro.resilience.backpressure import BackpressureConfig
 from repro.resilience.checkpoint import CheckpointManager

@@ -8,7 +8,7 @@ no exceptions, flagged records, sane counts.
 
 import numpy as np
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.core.filtering import log_filter_list, sorted_by_time
 from repro.logmodel.record import LogRecord
 from repro.simulation.generator import generate_log

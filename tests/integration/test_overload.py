@@ -10,7 +10,7 @@ or spill accounting), and overload metrics surfaced in
 
 import pytest
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.resilience.backpressure import BackpressureConfig
 from repro.resilience.deadletter import REASON_SHED_OVERLOAD
 from repro.resilience.faults import FaultConfig

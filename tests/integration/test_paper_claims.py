@@ -7,7 +7,7 @@ claims have enough mass.
 
 import pytest
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.analysis.correlation import spatial_correlation, tag_correlation
 from repro.analysis.distributions import exponentiality_score
 from repro.analysis.interarrival import interarrival_times, log_histogram

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.core.filtering import log_filter_list, sorted_by_time
 from repro.logio.reader import read_log
 from repro.logio.writer import write_log

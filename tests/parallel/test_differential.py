@@ -17,7 +17,7 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.core.filtering import log_filter_list
 from repro.core.tagging import RulesetHandle, Tagger
 from repro.logmodel.record import LogRecord

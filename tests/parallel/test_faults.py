@@ -10,7 +10,7 @@ from a run where no worker ever died.
 
 import pytest
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.core.tagging import RulesetHandle, Tagger
 from repro.logmodel.record import LogRecord
 from repro.parallel import (

@@ -1,6 +1,6 @@
 """Tests for the full single-system report renderer."""
 
-from repro.pipeline import run_stream
+from repro.api import run_stream
 from repro.reporting.report import system_report
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.core.filtering import SpatioTemporalFilter
 from repro.logio.stats import StatsCollector
 from repro.resilience.checkpoint import CheckpointManager, PipelineCheckpoint

@@ -8,7 +8,7 @@ random point in a supervised run recovers to byte-identical output, and
 import numpy as np
 import pytest
 
-from repro import pipeline
+from repro import api as pipeline
 from repro.resilience.faults import FaultConfig
 from repro.resilience.supervisor import PipelineSupervisor
 from repro.simulation.generator import generate_log

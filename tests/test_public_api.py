@@ -51,7 +51,7 @@ def test_readme_quickstart_names_exist():
 
 class TestReproducibility:
     def test_pipeline_bitwise_deterministic(self):
-        from repro import pipeline
+        from repro import api as pipeline
 
         a = pipeline.run_system("redstorm", scale=1e-5, seed=11)
         b = pipeline.run_system("redstorm", scale=1e-5, seed=11)
@@ -76,7 +76,7 @@ class TestReproducibility:
     def test_scale_changes_volume_not_structure(self):
         """Scaling volumes must keep the incident skeleton: filtered
         counts are scale-invariant (the calibration's core promise)."""
-        from repro import pipeline
+        from repro import api as pipeline
 
         small = pipeline.run_system("liberty", scale=1e-5, seed=6)
         large = pipeline.run_system("liberty", scale=1e-4, seed=6)
