@@ -48,7 +48,9 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
+import tempfile
 import time
 
 ADDRESS_SPACE_CAP = 4 * 1024**3  # generous, but fatal to a runaway queue
@@ -402,6 +404,29 @@ def check(service, specs, baselines) -> int:
     return 0
 
 
+def run_kill_service(args) -> int:
+    """The ``--kill-service`` phase: a mini serve session is SIGKILLed
+    between quiesced bursts and must resurrect from its ``--state-dir``
+    byte-identical (delegates to the chaos harness's reusable check)."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import chaos_crash
+
+    print(f"\nkill-service phase: {args.kill_service_kills} SIGKILLs "
+          "over a durable serve session")
+    with tempfile.TemporaryDirectory(prefix="soak-kill-service-") as tmp:
+        failures = chaos_crash.kill_service_check(
+            tenants=min(args.tenants, 10), scale=args.scale,
+            seed=args.seed, kills=args.kill_service_kills, state_root=tmp,
+        )
+    if failures:
+        print(f"kill-service FAIL: {len(failures)} violations")
+        for failure in failures[:20]:
+            print(f"  - {failure}")
+        return 1
+    print("kill-service OK: resurrection byte-identical")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -414,6 +439,10 @@ def main() -> int:
                         help="pace sending over about this long (0 = "
                              "auto: ~5k lines/s aggregate)")
     parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--kill-service", action="store_true",
+                        help="also SIGKILL/resurrect a durable serve "
+                             "session and require byte-identical recovery")
+    parser.add_argument("--kill-service-kills", type=int, default=2)
     args = parser.parse_args()
 
     if cap_address_space():
@@ -421,7 +450,10 @@ def main() -> int:
     else:
         print("address-space cap: unavailable on this platform")
 
-    return asyncio.run(run_soak(args))
+    rc = asyncio.run(run_soak(args))
+    if rc == 0 and args.kill_service:
+        rc = run_kill_service(args)
+    return rc
 
 
 if __name__ == "__main__":

@@ -77,6 +77,8 @@ def run_stream(
     reorder_tolerance: float = DEFAULT_REORDER_TOLERANCE,
     backpressure: Optional[BackpressureConfig] = None,
     parallel: Optional[ParallelConfig] = None,
+    state_dir: Optional[str] = None,
+    state_token: str = "",
 ) -> PipelineResult:
     """Run the measurement/tag/filter pipeline over any record stream.
 
@@ -111,12 +113,39 @@ def run_stream(
     ``tests/parallel/`` and ``tests/engine/`` enforce this).  Both knobs
     compose with each other and with checkpoint/resume; see
     :data:`repro.engine.capabilities.CAPABILITY_TABLE`.
+
+    With ``state_dir``, checkpoints also persist to disk (a
+    :class:`~repro.resilience.durability.CheckpointStore` under that
+    directory) and the run *auto-resumes*: if the directory holds a
+    valid checkpoint recorded under the same ``state_token`` (the run
+    configuration fingerprint) by an interrupted run, it is adopted as
+    ``resume_from`` and the re-presented stream's consumed prefix is
+    skipped — so a SIGKILLed run re-invoked with the same arguments
+    completes byte-identical to one that was never interrupted.
+    Storage failures (ENOSPC, EIO, bit-rot) degrade rather than crash:
+    the run continues in-memory and
+    ``result.checkpoints.store.status`` carries the exact unpersisted
+    accounting.
     """
     validate_run_config(parallel=parallel, backpressure=backpressure)
     if backpressure is not None and dead_letters is None:
         # Bounded mode must never lose a tagged alert silently: the spill
         # path needs somewhere accounted to land.
         dead_letters = DeadLetterQueue()
+
+    store = None
+    if state_dir is not None:
+        from .resilience.durability import CheckpointStore
+
+        store = CheckpointStore(state_dir, token=state_token)
+        if resume_from is None:
+            resume_from = store.load()
+        if checkpointer is None:
+            checkpointer = CheckpointManager(
+                every=DEFAULT_CHECKPOINT_EVERY, store=store
+            )
+        elif checkpointer.store is None:
+            checkpointer.store = store
 
     path = AlertPath(
         system,
@@ -127,19 +156,62 @@ def run_stream(
     )
     source = iter(records)
     if resume_from is not None:
-        source = islice(source, path.consumed, None)
+        source = _skip_resumed_prefix(source, path)
     if checkpointer is not None:
         checkpointer.prime(resume_from)
 
     driver = build_driver(parallel=parallel, backpressure=backpressure)
     report = driver.run(source, path, checkpointer)
 
-    return path.result(
+    result = path.result(
         generated=generated,
         shard_stats=report.shard_stats,
         overload=report.overload,
         checkpoints=checkpointer,
     )
+    if store is not None:
+        # A clean finish marks the durable state consumed: re-running
+        # the same configuration starts a fresh run instead of resuming
+        # into a stream that already completed.
+        store.mark_complete()
+    return result
+
+
+def _skip_resumed_prefix(source, path: AlertPath):
+    """Skip the consumed prefix of a re-presented stream.
+
+    An in-memory resume is a plain ``islice``.  A *durable* resume also
+    owes the rebuilt stats compressor the prefix bytes it had been fed
+    (the pickled checkpoint cannot carry live zlib state — see
+    :class:`~repro.logio.stats.StatsSnapshot`), so each skipped record
+    that was originally observed is replayed through
+    ``StatsCollector.replay_record`` while being discarded.
+    """
+    collector = path.stats_collector
+    if collector.pending_replay_bytes <= 0:
+        return islice(source, path.consumed, None)
+
+    def skip():
+        strict = path.dead_letters is None
+        for _ in range(path.consumed):
+            try:
+                record = next(source)
+            except StopIteration:
+                return
+            if collector.pending_replay_bytes > 0 and (
+                strict or path.valid(record)
+            ):
+                collector.replay_record(record)
+        yield from source
+
+    return skip()
+
+
+def _state_token(**fields) -> str:
+    """Fingerprint a run configuration for the durable state store:
+    state recorded under a different token must not be resumed into
+    this stream."""
+    return "|".join(f"{key}={fields[key]!r}" for key in sorted(fields))
 
 
 def run_system(
@@ -154,6 +226,7 @@ def run_system(
     checkpoint_every: Optional[int] = None,
     backpressure: Optional[BackpressureConfig] = None,
     parallel: Optional[ParallelConfig] = None,
+    state_dir: Optional[str] = None,
     **generator_kwargs,
 ) -> PipelineResult:
     """Generate one machine's log and run the full pipeline over it.
@@ -175,15 +248,35 @@ def run_system(
     ``backpressure``, ``parallel``, supervision, and checkpointing all
     compose; see :data:`repro.engine.capabilities.CAPABILITY_TABLE` for
     each combination's checkpoint barrier and equivalence guarantee.
+
+    With ``state_dir``, checkpoints persist to that directory and a
+    re-invocation with the same arguments auto-resumes an interrupted
+    run (SIGKILL, host reboot) to a byte-identical result — the
+    generated stream is deterministic, so the durable checkpoint plus
+    the skipped prefix reconstruct the exact in-flight state.  The
+    directory is fingerprinted with the run configuration; changing
+    ``seed``/``scale``/... starts fresh rather than resuming the wrong
+    stream.
     """
     validate_run_config(
         parallel=parallel, backpressure=backpressure, faults=faults,
         supervised=supervised, restart_budget=restart_budget,
         checkpoint_every=checkpoint_every,
     )
+    token = ""
+    if state_dir is not None:
+        token = _state_token(
+            system=system, scale=scale, seed=seed, threshold=threshold,
+            incident_scale=incident_scale, **generator_kwargs,
+        )
     if faults is not None or supervised:
         from .resilience.supervisor import PipelineSupervisor
 
+        store = None
+        if state_dir is not None:
+            from .resilience.durability import CheckpointStore
+
+            store = CheckpointStore(state_dir, token=token)
         supervisor = PipelineSupervisor(
             restart_budget=(
                 DEFAULT_RESTART_BUDGET if restart_budget is None
@@ -193,6 +286,7 @@ def run_system(
                 DEFAULT_CHECKPOINT_EVERY if checkpoint_every is None
                 else checkpoint_every
             ),
+            store=store,
         )
         return supervisor.run_system(
             system, scale=scale, seed=seed, threshold=threshold,
@@ -212,7 +306,7 @@ def run_system(
     return run_stream(
         generated.records, system, threshold=threshold, generated=generated,
         checkpointer=checkpointer, backpressure=backpressure,
-        parallel=parallel,
+        parallel=parallel, state_dir=state_dir, state_token=token,
     )
 
 
@@ -226,6 +320,7 @@ def run_all(
     checkpoint_every: Optional[int] = None,
     backpressure: Optional[BackpressureConfig] = None,
     parallel: Optional[ParallelConfig] = None,
+    state_dir: Optional[str] = None,
     **generator_kwargs,
 ) -> Dict[str, PipelineResult]:
     """Run the pipeline for all five machines (Table 2's full study).
@@ -238,6 +333,8 @@ def run_all(
     across worker processes (each system gets its own pool).  The knobs
     compose, per system, exactly as in :func:`run_system`.
     """
+    import os
+
     from .systems.specs import SYSTEMS
 
     return {
@@ -245,7 +342,12 @@ def run_all(
             name, scale=scale, seed=seed, threshold=threshold,
             faults=faults, supervised=supervised,
             restart_budget=restart_budget, checkpoint_every=checkpoint_every,
-            backpressure=backpressure, parallel=parallel, **generator_kwargs,
+            backpressure=backpressure, parallel=parallel,
+            state_dir=(
+                os.path.join(state_dir, name) if state_dir is not None
+                else None
+            ),
+            **generator_kwargs,
         )
         for name in SYSTEMS
     }

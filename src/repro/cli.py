@@ -131,10 +131,16 @@ def cmd_study(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             backpressure=backpressure,
             parallel=parallel,
+            state_dir=(
+                f"{args.state_dir}/{system}" if args.state_dir else None
+            ),
         )
         results[system] = result
         line = (f"# {system}: {result.message_count:,} messages, "
                 f"{result.raw_alert_count:,} alerts")
+        store = getattr(result.checkpoints, "store", None)
+        if store is not None and store.status.degraded:
+            line += f" [DURABILITY DEGRADED: {store.status.reason}]"
         if faults is not None:
             line += (f" [restarts: {result.restarts}, "
                      f"dead letters: {result.dead_letter_count}"
@@ -213,6 +219,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         restart_budget=args.restart_budget,
         idle_ttl=args.idle_ttl,
         drain_timeout=args.drain_timeout,
+        state_dir=args.state_dir,
+        checkpoint_every=args.checkpoint_every,
     )
 
     async def _run() -> dict:
@@ -240,6 +248,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{len(broken)} conservation violations",
         file=sys.stderr,
     )
+    durability = service_row.get("durability") or {}
+    if durability.get("degraded"):
+        print(
+            f"DURABILITY DEGRADED: {durability.get('reason')} "
+            f"({durability.get('unpersisted_checkpoints', 0)} checkpoints / "
+            f"{durability.get('unpersisted_wal_records', 0)} journal records "
+            "unpersisted)",
+            file=sys.stderr,
+        )
     return 1 if broken else 0
 
 
@@ -307,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "--faults the run still snapshots and the "
                               "result keeps the latest resume point "
                               "(default under --faults: 2000)")
+    p_study.add_argument("--state-dir", default=None,
+                         help="persist checkpoints under this directory "
+                              "(one subdirectory per system) and "
+                              "auto-resume an interrupted run: re-invoking "
+                              "the same study after a crash/SIGKILL "
+                              "completes byte-identical to an "
+                              "uninterrupted run")
     p_study.add_argument("--max-buffer", type=int, default=None,
                          help="run bounded: cap the generate->tag queue at "
                               "this many records (backpressure + load "
@@ -373,6 +397,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds of tenant quiet before eviction "
                               "(checkpoint handoff)")
     p_serve.add_argument("--drain-timeout", type=float, default=30.0)
+    p_serve.add_argument("--state-dir", default=None,
+                         help="crash-durable tenant state directory: "
+                              "checkpoints and alert/dead-letter journals "
+                              "persist here, and a restarted service "
+                              "resumes every tenant from it")
+    p_serve.add_argument("--checkpoint-every", type=int, default=2000,
+                         help="records between durable tenant snapshots")
     p_serve.set_defaults(func=cmd_serve)
 
     p_stats = sub.add_parser(

@@ -166,4 +166,11 @@ def capability_lines() -> List[str]:
     )
     return [header] + [
         caps.line() for caps in CAPABILITY_TABLE.values()
+    ] + [
+        "every barrier above also persists: pass --state-dir and each "
+        "snapshot is written",
+        "through the durable checkpoint store (WAL + atomic generations; "
+        "see repro.resilience.durability),",
+        "so an interrupted run -- SIGKILL included -- resumes from disk "
+        "at the same barrier.",
     ]

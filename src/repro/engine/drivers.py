@@ -354,16 +354,14 @@ class BoundedDriver:
                 )
 
             # -- tag/stats stage: halts when the filter queue is full,
-            #    which is how downstream pressure propagates upstream ----
-            served = 0
-            while served < config.service_batch and ingest_q and not alert_q.full:
-                record = ingest_q.get()
-                served += 1
-                path.observe(record)
-                alert = path.tag(record)
-                if alert is not None:
-                    alert_q.put(alert)
-            monitor.note_throughput("tag", served)
+            #    which is how downstream pressure propagates upstream.
+            #    Served as one batch (a record yields at most one alert,
+            #    so free alert-queue slots bound the batch size).
+            room = alert_q.capacity - len(alert_q)
+            batch = ingest_q.take(min(config.service_batch, room))
+            for alert in path.tag_batch_admitted(batch):
+                alert_q.put(alert)
+            monitor.note_throughput("tag", len(batch))
 
             # -- filter stage -------------------------------------------
             drained = 0

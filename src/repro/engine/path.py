@@ -29,7 +29,7 @@ checkpoint/resume works identically under every driver.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.filtering import (
     DEFAULT_THRESHOLD,
@@ -263,6 +263,40 @@ class AlertPath:
             alert = from_record(records[i], category)
             pairs.append((alert, offer(alert)))
         emit_batch(self.sink, pairs)
+
+    def tag_batch_admitted(
+        self, records: Sequence[LogRecord]
+    ) -> List[Alert]:
+        """Batch form of :meth:`observe` + :meth:`tag` for records that
+        already passed :meth:`admit` (the bounded tick pump's unit):
+        one stats observation, one ruleset pass, one severity tally.
+
+        A batch the rules engine cannot match falls back to the genuine
+        per-record loop — nothing has been observed at that point, so
+        the fallback reproduces the serial interleaving exactly,
+        including the tagger-error dead letter for the poison record.
+        """
+        if not records:
+            return []
+        try:
+            texts = [
+                f"{r.facility}: {r.body}" if r.facility else r.body
+                for r in records
+            ]
+            hits = self.tagger.match_texts(texts)
+        except Exception:
+            alerts: List[Alert] = []
+            for record in records:
+                self.observe(record)
+                alert = self.tag(record)
+                if alert is not None:
+                    alerts.append(alert)
+            return alerts
+        self.stats_collector.observe_batch(records)
+        self.corrupted += sum(1 for r in records if r.corrupted)
+        self.severity_tab.add_batch(records, [i for i, _ in hits])
+        from_record = Alert.from_record
+        return [from_record(records[i], category) for i, category in hits]
 
     def process_tagged_batch(self, records, outcome) -> None:
         """The batch form of the sharded replay: ``outcome`` is a

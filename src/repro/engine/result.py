@@ -102,6 +102,20 @@ class PipelineResult:
             lines.extend(self.overload.summary_lines())
         if self.shard_stats is not None:
             lines.append(self.shard_stats.summary_line())
+        if self.checkpoints is not None:
+            latest = self.checkpoints.latest
+            at = (
+                f"latest at record {latest.records_consumed:,}"
+                if latest is not None else "none retained"
+            )
+            lines.append(
+                f"checkpoints:       {self.checkpoints.taken} snapshots "
+                f"({at})"
+            )
+            store = getattr(self.checkpoints, "store", None)
+            status = getattr(store, "status", None)
+            if status is not None and status.degraded:
+                lines.append(status.summary_line())
         if self.restarts:
             lines.append(f"restarts:          {self.restarts}")
         if self.degraded:

@@ -62,11 +62,22 @@ class StatsSnapshot:
     resumed collector produces byte-identical compressed sizes to an
     uninterrupted run.  The stored compressor is never mutated: every
     restore copies it again, so one snapshot supports many resumes.
+
+    A live compressor cannot be pickled, so the *durable* form of a
+    snapshot (``repro.resilience.wire``) stores ``compressor=None`` and
+    relies on ``fed_bytes`` — the exact count of bytes the compressor had
+    been fed — to rebuild equivalent state: deflate's cumulative output
+    depends only on the byte sequence fed, not its chunking (the engine
+    equivalence tests pin this), so replaying the resumed stream's
+    observed prefix through a fresh compressor via :meth:`StatsCollector.
+    replay_record` lands on byte-identical compressed sizes.
     """
 
     stats: LogStats
-    compressor: "zlib._Compress"
+    compressor: Optional["zlib._Compress"]
     flushed: bool
+    #: Total bytes fed to the compressor when the snapshot was taken.
+    fed_bytes: int = 0
 
 
 class StatsCollector:
@@ -84,6 +95,16 @@ class StatsCollector:
         self._render = renderer_for(system)
         self._compressor = zlib.compressobj(compression_level)
         self._flushed = False
+        #: Bytes fed to the compressor so far (the durable-resume
+        #: watermark), and how many of them a durable resume still owes
+        #: the rebuilt compressor via :meth:`replay_record`.
+        self._fed = 0
+        self._replay_pending = 0
+        #: Latched when a durable resume's replayed prefix did not line
+        #: up with the watermark (a stream that shed or coarsened cannot
+        #: be re-fed exactly); counts/sizes/span stay exact, only
+        #: ``compressed_bytes`` for the remainder is best-effort.
+        self.replay_mismatch = False
         #: Coarse mode (overload degradation): skip the compressed-size
         #: measurement, the expensive part of the per-record work.  The
         #: count/size/span columns stay exact; ``compressed_bytes`` covers
@@ -98,6 +119,7 @@ class StatsCollector:
         self.stats.raw_bytes += len(data)
         if not self.coarse:
             self.stats.compressed_bytes += len(self._compressor.compress(data))
+            self._fed += len(data)
         if self.stats.first_timestamp is None:
             self.stats.first_timestamp = record.timestamp
         if (
@@ -129,6 +151,7 @@ class StatsCollector:
         stats.raw_bytes += len(data)
         if not self.coarse:
             stats.compressed_bytes += len(self._compressor.compress(data))
+            self._fed += len(data)
         if stats.first_timestamp is None:
             stats.first_timestamp = records[0].timestamp
         last = stats.last_timestamp
@@ -155,16 +178,54 @@ class StatsCollector:
             stats=replace(self.stats),
             compressor=self._compressor.copy(),
             flushed=self._flushed,
+            fed_bytes=self._fed,
         )
 
     @classmethod
     def from_snapshot(cls, snapshot: StatsSnapshot) -> "StatsCollector":
-        """A live collector continuing exactly from ``snapshot``."""
+        """A live collector continuing exactly from ``snapshot``.
+
+        When the snapshot crossed a process boundary its compressor is
+        gone (``None``); the collector starts a fresh one and owes it the
+        ``fed_bytes`` watermark of replayed prefix bytes — the resuming
+        driver pays that debt by calling :meth:`replay_record` for each
+        observed record of the skipped prefix before feeding new ones.
+        """
         collector = cls(snapshot.stats.system)
         collector.stats = replace(snapshot.stats)
-        collector._compressor = snapshot.compressor.copy()
         collector._flushed = snapshot.flushed
+        collector._fed = snapshot.fed_bytes
+        if snapshot.compressor is not None:
+            collector._compressor = snapshot.compressor.copy()
+        else:
+            collector._replay_pending = snapshot.fed_bytes
         return collector
+
+    @property
+    def pending_replay_bytes(self) -> int:
+        """Prefix bytes a durable resume still owes :meth:`replay_record`."""
+        return self._replay_pending
+
+    def replay_record(self, record: LogRecord) -> None:
+        """Re-feed one skipped-prefix record into the rebuilt compressor.
+
+        The compressed output these bytes produce was already counted
+        when the record was first observed, so only the compressor state
+        advances — ``stats`` does not move.  Overshooting the watermark
+        (a prefix that cannot be reconstructed exactly, e.g. a run that
+        shed records) latches :attr:`replay_mismatch` instead of
+        corrupting the count.
+        """
+        if self._replay_pending <= 0:
+            return
+        line = self._render(record) + "\n"
+        data = line.encode("utf-8", "replace")
+        if len(data) > self._replay_pending:
+            self.replay_mismatch = True
+            self._replay_pending = 0
+            return
+        self._compressor.compress(data)
+        self._replay_pending -= len(data)
 
 
 def measure_stream(records: Iterable[LogRecord], system: str) -> LogStats:

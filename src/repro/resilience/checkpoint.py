@@ -17,6 +17,7 @@ injected (or real) crash.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..analysis.severity_eval import SeverityCrossTab
@@ -65,6 +66,11 @@ class PipelineCheckpoint:
     #: timestamp), captured by bounded runs so a resumed policy keeps its
     #: duplicate memory; ``None`` for unbounded runs.
     shed_state: Optional[Dict[str, float]] = None
+    #: How many snapshots the run had taken when this one was stamped
+    #: (this one included).  Resuming restores the manager's ``taken``
+    #: from it, so the snapshot count a resumed run reports covers the
+    #: whole logical run, not just the slice since the last crash.
+    snapshots_taken: int = 0
 
     def restore_stats(self) -> StatsCollector:
         """A live stats collector continuing from the snapshot."""
@@ -96,6 +102,13 @@ class CheckpointManager:
     every: int = 2000
     latest: Optional[PipelineCheckpoint] = None
     taken: int = 0
+    #: Optional durable backend (``repro.resilience.durability.
+    #: CheckpointStore`` or anything with a ``save(checkpoint) -> bool``
+    #: and a ``status``): every retained snapshot is also persisted, so
+    #: the resume point survives the process.  Persistence failures
+    #: degrade (the store's status latches and counts); they never stop
+    #: the in-memory run.
+    store: Optional[Any] = None
     _last_at: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -110,12 +123,26 @@ class CheckpointManager:
         """Take a snapshot if the interval has elapsed; ``True`` if taken."""
         if records_consumed - self._last_at < self.every:
             return False
-        self.latest = snapshot()
+        checkpoint = snapshot()
         self.taken += 1
+        if getattr(checkpoint, "snapshots_taken", self.taken) != self.taken:
+            checkpoint = dc_replace(checkpoint, snapshots_taken=self.taken)
+        self.latest = checkpoint
         self._last_at = records_consumed
+        if self.store is not None:
+            self.store.save(checkpoint)
         return True
 
     def prime(self, checkpoint: Optional[PipelineCheckpoint]) -> None:
-        """Adopt an existing checkpoint as the starting point (resume)."""
+        """Adopt an existing checkpoint as the starting point (resume).
+
+        Restores the full resume accounting: ``latest``, the interval
+        cursor, *and* ``taken`` — a resumed run's snapshot count picks
+        up where the interrupted run's left off instead of restarting
+        at zero (which historically made ``PipelineResult.summary()``
+        under-report resumed runs).
+        """
         self.latest = checkpoint
         self._last_at = checkpoint.records_consumed if checkpoint else 0
+        if checkpoint is not None:
+            self.taken = max(self.taken, checkpoint.snapshots_taken)

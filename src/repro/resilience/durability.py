@@ -1,0 +1,670 @@
+"""Crash-durable state: a segmented write-ahead journal and an atomic,
+generational checkpoint store.
+
+The paper's corpus took months of continuous collection — the monitors
+that produce such logs do not restart from zero.  This module is what
+lets ours not restart from zero either: every piece of resumable state
+the pipeline and service already maintain in memory
+(:class:`~repro.resilience.checkpoint.PipelineCheckpoint`, tenant
+``park()`` bundles, dead-letter accounting) gains an on-disk twin that
+survives SIGKILL, torn writes, and bit-rot.
+
+Three layers:
+
+* :class:`RealFilesystem` — the narrow syscall surface everything else
+  uses (write/fsync/replace/remove/...).  Narrow on purpose: the chaos
+  harness swaps in :class:`~repro.resilience.faults.FaultyFilesystem`
+  to land ENOSPC/EIO or a SIGKILL mid-fsync at a deterministic
+  operation index.
+* :class:`SegmentedWal` — an append-only journal of CRC32-framed
+  entries across rotating segment files.  Replay truncates a torn tail
+  (the crash case), quarantines a mid-journal CRC failure (the bit-rot
+  case) rather than trusting anything after it, and never raises.
+* :class:`CheckpointStore` — full-state snapshots written as
+  generations: serialize → temp file → fsync → ``os.replace``, then a
+  manifest (same dance) naming the newest generation.  Load verifies
+  the manifest's pick and falls back generation by generation,
+  quarantining what fails its CRC.
+
+Durability failures never take the pipeline down: any OSError from the
+storage layer latches :class:`DurabilityStatus` into *degraded* mode —
+the run continues in-memory, exactly as before this module existed,
+with an exact count of every record and checkpoint that could not be
+persisted.  Losing the ability to persist must not become losing data
+that was never at risk in memory.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from . import wire
+from .checkpoint import PipelineCheckpoint
+
+__all__ = [
+    "CheckpointStore",
+    "DurabilityStatus",
+    "RealFilesystem",
+    "SegmentedWal",
+    "default_filesystem",
+    "recover_checkpoint",
+]
+
+
+# -- the filesystem seam -----------------------------------------------------
+
+
+class _AppendHandle:
+    """A thin append-mode file wrapper the fault filesystem can shadow."""
+
+    def __init__(self, path: str):
+        self._file = open(path, "ab")
+        self.path = path
+
+    def write(self, data: bytes) -> None:
+        self._file.write(data)
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+    def close(self) -> None:
+        try:
+            self._file.flush()
+        finally:
+            self._file.close()
+
+
+class RealFilesystem:
+    """The narrow filesystem surface the durability layer is written
+    against.  Every mutating operation the chaos harness might want to
+    fail or kill inside goes through a named method here."""
+
+    def ensure_dir(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def listdir(self, path: str) -> List[str]:
+        return sorted(os.listdir(path))
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def write_bytes(self, path: str, data: bytes, sync: bool = True) -> None:
+        with open(path, "wb") as handle:
+            handle.write(data)
+            if sync:
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def open_append(self, path: str) -> _AppendHandle:
+        return _AppendHandle(path)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def truncate(self, path: str, length: int) -> None:
+        with open(path, "rb+") as handle:
+            handle.truncate(length)
+
+    def fsync_dir(self, path: str) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - some filesystems refuse
+            pass
+        finally:
+            os.close(fd)
+
+
+def default_filesystem() -> RealFilesystem:
+    """The filesystem the stores use when none is injected explicitly.
+
+    Honors the ``REPRO_FAULT_FS_*`` environment contract so a chaos
+    harness can arm fault injection inside a subprocess it is about to
+    run — see :func:`repro.resilience.faults.fault_filesystem_from_env`.
+    """
+    from .faults import fault_filesystem_from_env
+
+    return fault_filesystem_from_env() or RealFilesystem()
+
+
+# -- degraded-mode accounting ------------------------------------------------
+
+
+@dataclass
+class DurabilityStatus:
+    """The latch that keeps storage failures from becoming outages.
+
+    Once latched, ``degraded`` stays true for the life of the run (a
+    filesystem that returned ENOSPC once is not to be trusted with the
+    guarantee again), writes keep being *attempted and counted* so the
+    unpersisted tallies are exact, and the in-memory pipeline continues
+    untouched.
+    """
+
+    degraded: bool = False
+    reason: str = ""
+    #: Exact counts of state that exists in memory but not on disk.
+    unpersisted_checkpoints: int = 0
+    unpersisted_wal_records: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    MAX_NOTES = 50
+
+    def latch(self, where: str, exc: BaseException) -> None:
+        if not self.degraded:
+            self.degraded = True
+            self.reason = f"{where}: {exc!r}"
+        self.note(f"{where}: {exc!r}")
+
+    def note(self, message: str) -> None:
+        if len(self.notes) < self.MAX_NOTES:
+            self.notes.append(message)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "degraded": self.degraded,
+            "reason": self.reason,
+            "unpersisted_checkpoints": self.unpersisted_checkpoints,
+            "unpersisted_wal_records": self.unpersisted_wal_records,
+            "notes": list(self.notes),
+        }
+
+    def summary_line(self) -> str:
+        if not self.degraded:
+            return "durability:        ok"
+        return (
+            f"durability:        DEGRADED ({self.reason}; "
+            f"{self.unpersisted_checkpoints} checkpoints / "
+            f"{self.unpersisted_wal_records} journal records unpersisted)"
+        )
+
+
+# -- the write-ahead journal -------------------------------------------------
+
+
+class SegmentedWal:
+    """An append-only journal of ``(kind, object)`` entries.
+
+    Entries are pickled, CRC32-framed (:mod:`repro.resilience.wire`),
+    and appended to ``wal-<n>.seg`` files that rotate at
+    ``segment_bytes``.  ``sync_every=1`` fsyncs after every append (the
+    default: an acknowledged entry is a durable entry);
+    ``sync_every=0`` leaves fsync to explicit :meth:`sync` calls at the
+    caller's batch boundaries.
+
+    :meth:`replay` yields every trustworthy entry in append order and
+    classifies everything else: a bad frame at the tail of the *last*
+    segment is a torn write — the tail is truncated and the journal
+    continues from the clean prefix; a bad frame or header anywhere
+    earlier is bit-rot — that segment is renamed ``*.corrupt`` and
+    replay stops there, because append order after a rotten segment
+    cannot be vouched for.  Replay never raises.
+    """
+
+    SEGMENT_PREFIX = "wal-"
+    SEGMENT_SUFFIX = ".seg"
+
+    def __init__(
+        self,
+        directory: str,
+        segment_bytes: int = 1 << 20,
+        sync_every: int = 1,
+        fs: Optional[RealFilesystem] = None,
+        status: Optional[DurabilityStatus] = None,
+    ):
+        self.directory = str(directory)
+        self.segment_bytes = segment_bytes
+        self.sync_every = sync_every
+        self.fs = fs if fs is not None else default_filesystem()
+        self.status = status if status is not None else DurabilityStatus()
+        self.appended = 0  # entries accepted by append()
+        self.persisted = 0  # entries written without an OSError
+        self._handle: Optional[_AppendHandle] = None
+        self._since_sync = 0
+        self._next_segment = 0
+
+    # -- naming ------------------------------------------------------------
+
+    def _segment_name(self, index: int) -> str:
+        return f"{self.SEGMENT_PREFIX}{index:08d}{self.SEGMENT_SUFFIX}"
+
+    def _segment_index(self, name: str) -> Optional[int]:
+        if not (name.startswith(self.SEGMENT_PREFIX)
+                and name.endswith(self.SEGMENT_SUFFIX)):
+            return None
+        digits = name[len(self.SEGMENT_PREFIX):-len(self.SEGMENT_SUFFIX)]
+        return int(digits) if digits.isdigit() else None
+
+    def segments(self) -> List[str]:
+        """Segment file names currently on disk, in append order."""
+        if not self.fs.exists(self.directory):
+            return []
+        named = [
+            (index, name)
+            for name in self.fs.listdir(self.directory)
+            if (index := self._segment_index(name)) is not None
+        ]
+        return [name for _index, name in sorted(named)]
+
+    # -- appending ---------------------------------------------------------
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self.fs.ensure_dir(self.directory)
+        existing = self.segments()
+        if existing and self._next_segment == 0:
+            last = self._segment_index(existing[-1])
+            self._next_segment = (last if last is not None else -1) + 1
+        path = os.path.join(
+            self.directory, self._segment_name(self._next_segment)
+        )
+        self._next_segment += 1
+        handle = self.fs.open_append(path)
+        if handle.tell() == 0:
+            handle.write(wire.file_header(wire.WAL_MAGIC))
+        self._handle = handle
+
+    def append(self, kind: str, obj: Any) -> bool:
+        """Append one entry; ``True`` if it reached the journal file.
+
+        Degraded mode keeps accepting (and exactly counting) entries so
+        the in-memory pipeline never blocks on a broken disk.
+        """
+        self.appended += 1
+        frame = wire.encode_entry(kind, obj)
+        try:
+            if (
+                self._handle is None
+                or self._handle.tell() + len(frame) > self.segment_bytes
+            ):
+                self._rotate()
+            self._handle.write(frame)
+            self._since_sync += 1
+            if self.sync_every and self._since_sync >= self.sync_every:
+                self._handle.sync()
+                self._since_sync = 0
+        except OSError as exc:
+            self.status.latch("wal append", exc)
+            self.status.unpersisted_wal_records += 1
+            self._drop_handle()
+            return False
+        self.persisted += 1
+        return True
+
+    def sync(self) -> bool:
+        """Fsync the open segment (for ``sync_every=0`` batch callers)."""
+        if self._handle is None or self._since_sync == 0:
+            return True
+        try:
+            self._handle.sync()
+        except OSError as exc:
+            self.status.latch("wal sync", exc)
+            # The unsynced suffix may or may not survive a crash; count
+            # it as unpersisted — the conservative direction.
+            self.status.unpersisted_wal_records += self._since_sync
+            self.persisted -= min(self.persisted, self._since_sync)
+            self._since_sync = 0
+            self._drop_handle()
+            return False
+        self._since_sync = 0
+        return True
+
+    def _drop_handle(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def close(self) -> None:
+        self.sync()
+        self._drop_handle()
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> Iterator[Tuple[str, Any]]:
+        """Yield every trustworthy entry in append order (see class doc)."""
+        names = self.segments()
+        for position, name in enumerate(names):
+            path = os.path.join(self.directory, name)
+            last = position == len(names) - 1
+            try:
+                data = self.fs.read_bytes(path)
+            except OSError as exc:
+                self.status.note(f"wal segment {name} unreadable: {exc!r}")
+                if not last:
+                    self.status.note(
+                        f"wal replay stopped; {len(names) - position - 1} "
+                        "later segments skipped (append order not provable)"
+                    )
+                return
+            try:
+                wire.check_header(data, wire.WAL_MAGIC)
+            except wire.WireError as exc:
+                self._quarantine(name, f"bad header: {exc}")
+                if not last:
+                    self.status.note(
+                        f"wal replay stopped at {name}; "
+                        f"{len(names) - position - 1} later segments skipped"
+                    )
+                return
+            payloads, clean_end, error = wire.scan_frames(data)
+            if error is not None and not last:
+                # Bit-rot mid-journal: nothing after this segment can be
+                # trusted to be in append order.
+                for payload in self._decode(payloads, name):
+                    yield payload
+                self._quarantine(name, error)
+                self.status.note(
+                    f"wal replay stopped at {name}; "
+                    f"{len(names) - position - 1} later segments skipped"
+                )
+                return
+            if error is not None:
+                # Torn tail of the newest segment: the crash case.  Keep
+                # the clean prefix, cut the tail so future appends start
+                # from a trustworthy boundary.
+                self.status.note(f"wal torn tail in {name}: {error}; "
+                                 f"truncated to {clean_end} bytes")
+                try:
+                    self.fs.truncate(path, clean_end)
+                except OSError as exc:
+                    self.status.note(
+                        f"wal tail truncate failed on {name}: {exc!r}"
+                    )
+            for payload in self._decode(payloads, name):
+                yield payload
+
+    def _decode(
+        self, payloads: List[bytes], name: str
+    ) -> Iterator[Tuple[str, Any]]:
+        for payload in payloads:
+            try:
+                yield wire.decode_entry(payload)
+            except wire.WireError as exc:
+                # CRC passed but the pickle did not decode: corruption
+                # the frame cannot see (e.g. a class that moved).  Skip
+                # the entry, keep the note.
+                self.status.note(f"wal entry in {name} dropped: {exc}")
+
+    def _quarantine(self, name: str, why: str) -> None:
+        path = os.path.join(self.directory, name)
+        try:
+            self.fs.replace(path, path + ".corrupt")
+            self.status.note(f"wal segment {name} quarantined: {why}")
+        except OSError as exc:
+            self.status.note(
+                f"wal segment {name} corrupt ({why}) and could not be "
+                f"quarantined: {exc!r}"
+            )
+
+    def reset(self) -> None:
+        """Drop every segment (a checkpoint now covers their contents)."""
+        self._drop_handle()
+        self._since_sync = 0
+        for name in self.segments():
+            try:
+                self.fs.remove(os.path.join(self.directory, name))
+            except OSError as exc:
+                self.status.note(f"wal reset could not remove {name}: {exc!r}")
+        self._next_segment = 0
+
+
+# -- the checkpoint store ----------------------------------------------------
+
+
+def _encode_pipeline_checkpoint(obj: Any, meta: Dict[str, Any]) -> bytes:
+    return wire.encode_checkpoint(obj, meta)
+
+
+def _decode_pipeline_checkpoint(payload: bytes) -> Tuple[Any, Dict[str, Any]]:
+    return wire.decode_checkpoint(payload)
+
+
+class CheckpointStore:
+    """Atomic, generational persistence for full-state snapshots.
+
+    Layout inside ``directory``::
+
+        MANIFEST            -> newest generation (framed, CRC-protected)
+        gen-00000007.ckpt   -> header + one framed payload
+        gen-00000006.ckpt   -> previous generation (fallback)
+        gen-00000005.ckpt.corrupt   -> quarantined by a failed load
+
+    :meth:`save` writes the new generation to a dot-prefixed temp file,
+    fsyncs, ``os.replace``\\ s it into place, then updates MANIFEST the
+    same way — a crash at any instruction leaves either the old state
+    or the new state fully intact, never a half state.  :meth:`load`
+    verifies whatever the manifest names and walks backward through
+    older generations when verification fails, quarantining each
+    corrupt file as it goes.
+
+    ``token`` fingerprints the run configuration (system, seed, scale,
+    ...): state recorded under a different token is ignored rather than
+    resumed into the wrong stream.  By default payloads are
+    :class:`PipelineCheckpoint`\\ s; pass ``encode``/``decode`` to store
+    other state bundles (the service's parked tenants do).
+    """
+
+    MANIFEST = "MANIFEST"
+    GENERATION_TEMPLATE = "gen-{:08d}.ckpt"
+
+    def __init__(
+        self,
+        directory: str,
+        token: str = "",
+        keep: int = 2,
+        fs: Optional[RealFilesystem] = None,
+        status: Optional[DurabilityStatus] = None,
+        encode: Callable[[Any, Dict[str, Any]], bytes] = (
+            _encode_pipeline_checkpoint
+        ),
+        decode: Callable[[bytes], Tuple[Any, Dict[str, Any]]] = (
+            _decode_pipeline_checkpoint
+        ),
+    ):
+        if keep < 1:
+            raise ValueError("keep must be at least 1 generation")
+        self.directory = str(directory)
+        self.token = token
+        self.keep = keep
+        self.fs = fs if fs is not None else default_filesystem()
+        self.status = status if status is not None else DurabilityStatus()
+        self._encode = encode
+        self._decode = decode
+        self.generation = self._newest_generation()
+        self.saved = 0
+
+    # -- naming ------------------------------------------------------------
+
+    def _generation_name(self, generation: int) -> str:
+        return self.GENERATION_TEMPLATE.format(generation)
+
+    def _generation_index(self, name: str) -> Optional[int]:
+        if not (name.startswith("gen-") and name.endswith(".ckpt")):
+            return None
+        digits = name[len("gen-"):-len(".ckpt")]
+        return int(digits) if digits.isdigit() else None
+
+    def _generations_on_disk(self) -> List[int]:
+        if not self.fs.exists(self.directory):
+            return []
+        return sorted(
+            index
+            for name in self.fs.listdir(self.directory)
+            if (index := self._generation_index(name)) is not None
+        )
+
+    def _newest_generation(self) -> int:
+        found = self._generations_on_disk()
+        return found[-1] if found else 0
+
+    # -- saving ------------------------------------------------------------
+
+    def save(self, payload: Any) -> bool:
+        """Persist one generation atomically; ``True`` on success.
+
+        Failure latches degraded mode and counts the checkpoint as
+        unpersisted; the caller's in-memory copy stays authoritative.
+        """
+        generation = self.generation + 1
+        meta = {"token": self.token, "generation": generation}
+        try:
+            blob = (
+                wire.file_header(wire.CHECKPOINT_MAGIC)
+                + self._encode(payload, meta)
+            )
+        except Exception as exc:
+            self.status.latch("checkpoint encode", exc)
+            self.status.unpersisted_checkpoints += 1
+            return False
+        name = self._generation_name(generation)
+        final_path = os.path.join(self.directory, name)
+        tmp_path = os.path.join(self.directory, f".{name}.tmp")
+        try:
+            self.fs.ensure_dir(self.directory)
+            self.fs.write_bytes(tmp_path, blob, sync=True)
+            self.fs.replace(tmp_path, final_path)
+            self._write_manifest(
+                {"token": self.token, "generation": generation,
+                 "file": name, "complete": False}
+            )
+            self.fs.fsync_dir(self.directory)
+        except OSError as exc:
+            self.status.latch("checkpoint save", exc)
+            self.status.unpersisted_checkpoints += 1
+            try:
+                if self.fs.exists(tmp_path):
+                    self.fs.remove(tmp_path)
+            except OSError:
+                pass
+            return False
+        self.generation = generation
+        self.saved += 1
+        self._prune()
+        return True
+
+    def _write_manifest(self, fields: Dict[str, Any]) -> None:
+        blob = wire.encode_manifest(fields)
+        tmp_path = os.path.join(self.directory, f".{self.MANIFEST}.tmp")
+        self.fs.write_bytes(tmp_path, blob, sync=True)
+        self.fs.replace(tmp_path, os.path.join(self.directory, self.MANIFEST))
+
+    def _prune(self) -> None:
+        for generation in self._generations_on_disk()[:-self.keep]:
+            path = os.path.join(
+                self.directory, self._generation_name(generation)
+            )
+            try:
+                self.fs.remove(path)
+            except OSError as exc:
+                self.status.note(
+                    f"could not prune generation {generation}: {exc!r}"
+                )
+
+    def mark_complete(self) -> bool:
+        """Record that the run this state belongs to finished cleanly;
+        :meth:`load` then reports nothing to resume."""
+        try:
+            self.fs.ensure_dir(self.directory)
+            self._write_manifest(
+                {"token": self.token, "generation": self.generation,
+                 "file": self._generation_name(self.generation),
+                 "complete": True}
+            )
+        except OSError as exc:
+            self.status.latch("checkpoint mark-complete", exc)
+            return False
+        return True
+
+    # -- loading -----------------------------------------------------------
+
+    def _read_manifest(self) -> Optional[Dict[str, Any]]:
+        path = os.path.join(self.directory, self.MANIFEST)
+        try:
+            if not self.fs.exists(path):
+                return None
+            return wire.decode_manifest(self.fs.read_bytes(path))
+        except (OSError, wire.WireError) as exc:
+            self.status.note(f"manifest unreadable ({exc!r}); "
+                             "falling back to a directory scan")
+            return None
+
+    def load(self) -> Optional[Any]:
+        """The newest verifiable payload, or ``None`` (fresh start).
+
+        Wrong-token state is ignored; corrupt generations are renamed
+        ``*.corrupt`` and the previous generation is tried — exactly the
+        fallback the manifest's ``keep`` window exists for.
+        """
+        manifest = self._read_manifest()
+        if manifest is not None and manifest.get("token") != self.token:
+            self.status.note(
+                "state belongs to a different run configuration "
+                f"(token {manifest.get('token')!r}); starting fresh"
+            )
+            return None
+        if manifest is not None and manifest.get("complete"):
+            return None
+        candidates = self._generations_on_disk()[::-1]  # newest first
+        for generation in candidates:
+            name = self._generation_name(generation)
+            path = os.path.join(self.directory, name)
+            try:
+                data = self.fs.read_bytes(path)
+                wire.check_header(data, wire.CHECKPOINT_MAGIC)
+                payloads, _end, error = wire.scan_frames(data)
+                if error is not None or len(payloads) != 1:
+                    raise wire.WireError(
+                        error or f"{len(payloads)} frames in one generation"
+                    )
+                payload, meta = self._decode(payloads[0])
+            except (OSError, wire.WireError, pickle.UnpicklingError) as exc:
+                self._quarantine(name, exc)
+                continue
+            if meta.get("token") != self.token:
+                self.status.note(
+                    f"generation {generation} belongs to a different run "
+                    "configuration; ignored"
+                )
+                continue
+            self.generation = max(self.generation, generation)
+            return payload
+        return None
+
+    def _quarantine(self, name: str, why: BaseException) -> None:
+        path = os.path.join(self.directory, name)
+        try:
+            self.fs.replace(path, path + ".corrupt")
+            self.status.note(f"generation {name} quarantined: {why}")
+        except OSError as exc:
+            self.status.note(
+                f"generation {name} corrupt ({why}) and could not be "
+                f"quarantined: {exc!r}"
+            )
+
+
+def recover_checkpoint(
+    state_dir: str, token: str = ""
+) -> Optional[PipelineCheckpoint]:
+    """Convenience scanner: the newest verifiable pipeline checkpoint
+    under ``state_dir``, or ``None`` when there is nothing (valid) to
+    resume."""
+    return CheckpointStore(state_dir, token=token).load()

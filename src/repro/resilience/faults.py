@@ -23,12 +23,16 @@ after a crash and land in a byte-identical final state.
 
 from __future__ import annotations
 
+import errno
+import os
+import signal
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..logmodel.record import LogRecord
+from .durability import RealFilesystem, _AppendHandle
 
 
 class FaultError(RuntimeError):
@@ -317,6 +321,150 @@ class TransientFault:
             raise StallTimeout(
                 f"injected transient send failure at t={record.timestamp:.3f}"
             )
+
+
+# -- storage faults ----------------------------------------------------------
+
+
+class FaultyFilesystem(RealFilesystem):
+    """Deterministic storage-fault injection behind the durability
+    layer's filesystem seam.
+
+    Every *mutating* operation (write, append, fsync, replace, remove,
+    truncate) gets a monotonically increasing op index; the schedule
+    says what happens at each index:
+
+    * ``fail_after=N`` — op ``N`` and every mutating op after it raise
+      ``OSError`` with ``fail_errno`` (default ENOSPC): the disk filled
+      and stayed full.
+    * ``kill_at=K`` — op ``K`` SIGKILLs the whole process *mid-write*:
+      a file write puts half the payload on disk first (the torn-write
+      case the CRC framing exists for), an fsync dies before the data
+      is known durable, a replace dies before happening.
+
+    Both schedules are plain op counts, so a deterministic workload
+    replays them exactly — the property the chaos harness needs to land
+    a kill inside a specific checkpoint write on every run.  The
+    ``REPRO_FAULT_FS_*`` environment variables (see
+    :func:`fault_filesystem_from_env`) arm the same schedules inside a
+    subprocess.
+    """
+
+    def __init__(
+        self,
+        fail_after: Optional[int] = None,
+        fail_errno: int = errno.ENOSPC,
+        kill_at: Optional[int] = None,
+    ):
+        self.fail_after = fail_after
+        self.fail_errno = fail_errno
+        self.kill_at = kill_at
+        self.ops = 0
+
+    def _gate(self, op: str, path: str) -> None:
+        index = self.ops
+        self.ops += 1
+        if self.kill_at is not None and index == self.kill_at:
+            self._kill(op, path)
+        if self.fail_after is not None and index >= self.fail_after:
+            raise OSError(
+                self.fail_errno,
+                f"injected {errno.errorcode.get(self.fail_errno, 'EIO')} "
+                f"at fs op {index} ({op} {path})",
+            )
+
+    def _kill(self, op: str, path: str) -> None:  # pragma: no cover - dies
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- mutating ops, each gated -----------------------------------------
+
+    def write_bytes(self, path: str, data: bytes, sync: bool = True) -> None:
+        index = self.ops
+        self.ops += 1
+        if self.kill_at is not None and index == self.kill_at:
+            # Torn write: half the payload reaches the file, then the
+            # process dies.  pragma: the surviving half is what the
+            # recovery tests read back.
+            with open(path, "wb") as handle:  # pragma: no cover - dies
+                handle.write(data[: len(data) // 2])
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._kill("write", path)  # pragma: no cover - dies
+        if self.fail_after is not None and index >= self.fail_after:
+            raise OSError(
+                self.fail_errno,
+                f"injected write failure at fs op {index} ({path})",
+            )
+        super().write_bytes(path, data, sync=sync)
+
+    def open_append(self, path: str) -> "_FaultyAppendHandle":
+        return _FaultyAppendHandle(self, path)
+
+    def replace(self, src: str, dst: str) -> None:
+        self._gate("replace", dst)
+        super().replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        self._gate("remove", path)
+        super().remove(path)
+
+    def truncate(self, path: str, length: int) -> None:
+        self._gate("truncate", path)
+        super().truncate(path, length)
+
+
+class _FaultyAppendHandle(_AppendHandle):
+    """An append handle whose writes and fsyncs run through the owning
+    :class:`FaultyFilesystem`'s schedule."""
+
+    def __init__(self, fs: FaultyFilesystem, path: str):
+        super().__init__(path)
+        self._fs = fs
+
+    def write(self, data: bytes) -> None:
+        index = self._fs.ops
+        self._fs.ops += 1
+        if self._fs.kill_at is not None and index == self._fs.kill_at:
+            # Torn append: half the frame lands, then SIGKILL.
+            super().write(data[: len(data) // 2])  # pragma: no cover - dies
+            super().sync()  # pragma: no cover - dies
+            self._fs._kill("append", self.path)  # pragma: no cover - dies
+        if self._fs.fail_after is not None and index >= self._fs.fail_after:
+            raise OSError(
+                self._fs.fail_errno,
+                f"injected append failure at fs op {index} ({self.path})",
+            )
+        super().write(data)
+
+    def sync(self) -> None:
+        self._fs._gate("fsync", self.path)
+        super().sync()
+
+
+#: Environment contract for arming storage faults inside a subprocess.
+ENV_FAULT_FS_KILL_AT = "REPRO_FAULT_FS_KILL_AT"
+ENV_FAULT_FS_FAIL_AFTER = "REPRO_FAULT_FS_FAIL_AFTER"
+ENV_FAULT_FS_ERRNO = "REPRO_FAULT_FS_ERRNO"
+
+
+def fault_filesystem_from_env(
+    environ: Optional[dict] = None,
+) -> Optional[FaultyFilesystem]:
+    """A :class:`FaultyFilesystem` armed from ``REPRO_FAULT_FS_*``
+    environment variables, or ``None`` when none are set.  This is how
+    the chaos harness lands a kill inside a durability write of a
+    subprocess it cannot otherwise reach into."""
+    env = os.environ if environ is None else environ
+    kill_at = env.get(ENV_FAULT_FS_KILL_AT)
+    fail_after = env.get(ENV_FAULT_FS_FAIL_AFTER)
+    if kill_at is None and fail_after is None:
+        return None
+    code = env.get(ENV_FAULT_FS_ERRNO, "ENOSPC")
+    return FaultyFilesystem(
+        fail_after=int(fail_after) if fail_after is not None else None,
+        fail_errno=getattr(errno, code, errno.EIO),
+        kill_at=int(kill_at) if kill_at is not None else None,
+    )
 
 
 # -- composition -------------------------------------------------------------

@@ -47,6 +47,12 @@ class PipelineSupervisor:
         records are replayed.
     dead_letter_capacity:
         Bound on retained quarantined records per system.
+    store:
+        Optional durable checkpoint backend
+        (:class:`~repro.resilience.durability.CheckpointStore`): every
+        snapshot also persists, and a *fresh* supervisor resumes from
+        the newest on-disk checkpoint — restart-from-checkpoint then
+        survives whole-process death, not just worker death.
     """
 
     def __init__(
@@ -54,12 +60,14 @@ class PipelineSupervisor:
         restart_budget: int = 3,
         checkpoint_every: int = 2000,
         dead_letter_capacity: int = 1000,
+        store=None,
     ):
         if restart_budget < 0:
             raise ValueError("restart_budget must be non-negative")
         self.restart_budget = restart_budget
         self.checkpoint_every = checkpoint_every
         self.dead_letter_capacity = dead_letter_capacity
+        self.store = store
 
     def run_records(
         self,
@@ -90,7 +98,9 @@ class PipelineSupervisor:
         driver's batch barriers.
         """
         plan = FaultPlan(faults) if faults is not None else None
-        manager = CheckpointManager(every=self.checkpoint_every)
+        manager = CheckpointManager(
+            every=self.checkpoint_every, store=self.store
+        )
         dead_letters = DeadLetterQueue(capacity=self.dead_letter_capacity)
         if backpressure is not None:
             backpressure = backpressure.with_runtime(
@@ -100,6 +110,10 @@ class PipelineSupervisor:
             )
         failure_log: List[str] = []
         checkpoint: Optional[PipelineCheckpoint] = None
+        if self.store is not None:
+            # A previous *process* may have died mid-run: its durable
+            # checkpoint is this run's starting point.
+            checkpoint = self.store.load()
 
         for attempt in range(self.restart_budget + 1):
             records = source_factory()
@@ -120,6 +134,8 @@ class PipelineSupervisor:
                 continue
             result.restarts = attempt
             result.failure_log = failure_log
+            if self.store is not None:
+                self.store.mark_complete()
             return result
 
         return self._degraded_result(

@@ -67,6 +67,19 @@ class TenantCounters:
     def conserves(self, queue_depth: int = 0) -> bool:
         return self.accounted(queue_depth) == self.received
 
+    @classmethod
+    def from_dict(cls, fields: Dict[str, object]) -> "TenantCounters":
+        """Rebuild counters from an :meth:`as_dict` journal entry (the
+        durable form the service's write-ahead journal replays)."""
+        counters = cls()
+        for name in ("received", "shed", "refused", "refused_tagged",
+                     "processed", "alerts_raw", "alerts_filtered",
+                     "crashes", "evictions", "resumes"):
+            setattr(counters, name, int(fields.get(name, 0)))
+        counters.shed_by_class = dict(fields.get("shed_by_class", {}))
+        counters.refused_by_reason = dict(fields.get("refused_by_reason", {}))
+        return counters
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "received": self.received,

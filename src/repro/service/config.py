@@ -56,6 +56,14 @@ class ServiceConfig:
     breaker_reset: float = 2.0     #: seconds before a half-open probe
     checkpoint_every: int = 2000   #: records between tenant snapshots
 
+    # -- durability -------------------------------------------------------
+    #: Directory for crash-durable tenant state (``None`` = in-memory
+    #: only).  With a state dir, every tenant checkpoint and parked
+    #: bundle is persisted atomically and alerts/dead-letters are
+    #: write-ahead journaled, so a SIGKILLed service resumes its tenants
+    #: on restart (see :mod:`repro.service.persistence`).
+    state_dir: Optional[str] = None
+
     # -- lifecycle --------------------------------------------------------
     idle_ttl: float = 300.0    #: seconds of quiet before eviction
     housekeeping_interval: float = 0.25

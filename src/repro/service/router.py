@@ -35,6 +35,7 @@ from ..resilience.backpressure import PressureLevel
 from ..resilience.deadletter import DeadLetterQueue, REASON_UNROUTABLE
 from ..systems.specs import SYSTEMS
 from .config import ServiceConfig
+from .persistence import TenantStateStore
 from .tenant import ParkedTenant, Tenant
 
 
@@ -143,7 +144,17 @@ class TenantRouter:
         self.config = config
         self.governor = MemoryGovernor(config)
         self.tenants: Dict[str, Tenant] = {}
-        self.parked: Dict[str, ParkedTenant] = {}
+        #: Durable backend (``--state-dir``); ``None`` = in-memory only.
+        self.state_store = (
+            TenantStateStore(config.state_dir, config)
+            if config.state_dir is not None else None
+        )
+        #: The parked map seeds from disk: every tenant that left durable
+        #: state in a previous process resurrects on its first line.
+        self.parked: Dict[str, ParkedTenant] = (
+            self.state_store.load_all()
+            if self.state_store is not None else {}
+        )
         #: Service-level quarantine for lines owned by no tenant.
         self.unroutable = DeadLetterQueue(capacity=config.dead_letter_capacity)
         self.lines_seen = 0
@@ -195,6 +206,10 @@ class TenantRouter:
         tenant = Tenant(
             tenant_id, system, self.config,
             governor=self.governor, parked=parked,
+            persistence=(
+                self.state_store.for_tenant(tenant_id, system)
+                if self.state_store is not None else None
+            ),
         )
         if parked is None:
             self.tenants_created += 1
@@ -231,7 +246,12 @@ class TenantRouter:
     # -- reporting ---------------------------------------------------------
 
     def stats(self) -> dict:
+        durability = (
+            self.state_store.status.as_dict()
+            if self.state_store is not None else None
+        )
         return {
+            "durability": durability,
             "lines_seen": self.lines_seen,
             "tenants_live": len(self.tenants),
             "tenants_parked": len(self.parked),

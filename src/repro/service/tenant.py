@@ -28,7 +28,7 @@ import asyncio
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Optional, Sequence, Tuple
 
 from ..core.categories import Alert
 from ..core.filtering import FilterReport
@@ -86,13 +86,20 @@ class ServiceAlertSink:
         tail: int,
         raw_seed: Tuple[Alert, ...] = (),
         filtered_seed: Tuple[Alert, ...] = (),
+        journal: Optional[Callable[[str, Any], Any]] = None,
     ):
         self.report = report
         self.counters = counters
         self.raw_alerts: Deque[Alert] = deque(raw_seed, maxlen=tail)
         self.filtered_alerts: Deque[Alert] = deque(filtered_seed, maxlen=tail)
+        #: Optional write-ahead journal hook (``journal(kind, obj)``):
+        #: with a ``--state-dir``, every emit is journaled before it is
+        #: counted so a crash can never un-report an alert.
+        self.journal = journal
 
     def emit(self, alert: Alert, kept: bool) -> None:
+        if self.journal is not None:
+            self.journal("alert", (alert, kept))
         self.counters.alerts_raw += 1
         self.raw_alerts.append(alert)
         self.report.record(alert, kept)
@@ -106,8 +113,11 @@ class ServiceAlertSink:
         raw_append = self.raw_alerts.append
         kept_append = self.filtered_alerts.append
         record = self.report.record
+        journal = self.journal
         counters.alerts_raw += len(pairs)
         for alert, kept in pairs:
+            if journal is not None:
+                journal("alert", (alert, kept))
             raw_append(alert)
             record(alert, kept)
             if kept:
@@ -137,14 +147,22 @@ class Tenant:
         config: ServiceConfig,
         governor=None,
         parked: Optional[ParkedTenant] = None,
+        persistence=None,
     ):
         self.tenant_id = tenant_id
         self.system = system
         self.config = config
         self.governor = governor
+        #: Optional durable backend (:class:`~repro.service.persistence.
+        #: TenantPersistence` or anything with ``journal``/``sync``/
+        #: ``save_parked``/``dead_letter_queue``).  Duck-typed so this
+        #: module never imports the persistence layer.
+        self._persist = persistence
 
-        self.dead_letters = DeadLetterQueue(
-            capacity=config.dead_letter_capacity
+        self.dead_letters = (
+            persistence.dead_letter_queue(config.dead_letter_capacity)
+            if persistence is not None
+            else DeadLetterQueue(capacity=config.dead_letter_capacity)
         )
         checkpoint = parked.checkpoint if parked is not None else None
         self.counters = parked.counters if parked is not None else (
@@ -189,8 +207,13 @@ class Tenant:
             reset_timeout=config.breaker_reset,
         )
         self.checkpoint = checkpoint
-        self.quarantined = False
+        # A resurrection cannot refund a spent restart budget: the crash
+        # count rides in the (journaled) counters, so a tenant that was
+        # quarantined when the process died comes back quarantined.
+        self.quarantined = self.counters.crashes > config.restart_budget
         self.final_dead_letters: Optional[DeadLetterSnapshot] = None
+        if self.quarantined:
+            self.final_dead_letters = self.dead_letters.snapshot()
         self.draining = False
         self.last_activity = time.monotonic()
         self._since_checkpoint = 0
@@ -208,6 +231,9 @@ class Tenant:
             self.config.alert_tail,
             raw_seed=raw_seed,
             filtered_seed=filtered_seed,
+            journal=(
+                self._persist.journal if self._persist is not None else None
+            ),
         )
         self.path.sink = self._sink
 
@@ -234,6 +260,10 @@ class Tenant:
         self.last_activity = time.monotonic()
         if self.quarantined:
             self._refuse(record, REASON_TENANT_QUARANTINED)
+            # No worker batch will sync this letter (the worker is gone);
+            # land it now so a dead tenant loses nothing across restarts.
+            if self._persist is not None:
+                self._persist.sync()
             return
         if not self.breaker.allow(time.monotonic()):
             self._refuse(record, REASON_CIRCUIT_OPEN)
@@ -319,6 +349,14 @@ class Tenant:
             if self.quarantined:
                 self._flush_quarantined()
                 break
+            if self._persist is not None and batch:
+                # Drained-queue boundaries journal a full counters dict
+                # (last one wins on replay); either way the batch's
+                # alert/letter entries hit the disk before new arrivals
+                # are served.
+                if not self.queue:
+                    self._persist.journal("counters", self.counters.as_dict())
+                self._persist.sync()
             self._maybe_checkpoint()
             # Fairness: one batch per wakeup, then yield the loop so no
             # tenant can starve another (or the listeners).
@@ -369,6 +407,9 @@ class Tenant:
             record = self.queue.get()
             self._refuse(record, REASON_TENANT_QUARANTINED)
         self.final_dead_letters = self.dead_letters.snapshot()
+        if self._persist is not None:
+            self._persist.journal("counters", self.counters.as_dict())
+            self._persist.sync()
 
     # -- checkpoints -------------------------------------------------------
 
@@ -384,6 +425,22 @@ class Tenant:
             shed_state=self.policy.state_dict()
         )
         self._since_checkpoint = 0
+        if self._persist is not None:
+            self._persist.save_parked(self._bundle(self.checkpoint))
+
+    def _bundle(self, checkpoint: PipelineCheckpoint) -> ParkedTenant:
+        """The durable form of the current state (same shape as
+        :meth:`park`, but the tenant stays live)."""
+        return ParkedTenant(
+            tenant_id=self.tenant_id,
+            system=self.system,
+            checkpoint=checkpoint,
+            counters=self.counters,
+            dead_letters=(
+                checkpoint.dead_letters or self.dead_letters.snapshot()
+            ),
+            parked_at=time.monotonic(),
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -409,7 +466,7 @@ class Tenant:
             self._task.cancel()
             self._task = None
         self.counters.evictions += 1
-        return ParkedTenant(
+        parked = ParkedTenant(
             tenant_id=self.tenant_id,
             system=self.system,
             checkpoint=checkpoint,
@@ -417,6 +474,9 @@ class Tenant:
             dead_letters=checkpoint.dead_letters or self.dead_letters.snapshot(),
             parked_at=time.monotonic(),
         )
+        if self._persist is not None:
+            self._persist.save_parked(parked)
+        return parked
 
     async def drain(self) -> None:
         """Process everything pending, take a final checkpoint, stop."""

@@ -65,10 +65,12 @@ class TestCapabilityTable:
 
     def test_capability_lines_render_every_row(self):
         lines = capability_lines()
-        assert len(lines) == 1 + len(CAPABILITY_TABLE)
+        # Header + one row per driver + the durable --state-dir footnote.
+        assert len(lines) >= 1 + len(CAPABILITY_TABLE)
         text = "\n".join(lines)
         for name in CAPABILITY_TABLE:
             assert name in text
+        assert "--state-dir" in text
 
 
 class TestValidation:

@@ -86,10 +86,14 @@ class TestRunStreamResume:
     def _crash_then_resume(self, crash_at, every=300):
         """Crash a liberty run at ``crash_at`` records, resume from the
         latest checkpoint, and return (baseline, resumed) results."""
+        # The baseline checkpoints at the same cadence: summary equality
+        # below then also asserts the resumed run's snapshot accounting
+        # matches an uninterrupted run's (prime() restores ``taken``).
         baseline = pipeline.run_stream(
             generate_log("liberty", scale=SMALL_SCALE, seed=SEED).records,
             "liberty",
             dead_letters=DeadLetterQueue(),
+            checkpointer=CheckpointManager(every=every),
         )
 
         plan = FaultPlan(FaultConfig.crash_only(at=crash_at, seed=SEED))

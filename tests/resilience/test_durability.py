@@ -1,0 +1,336 @@
+"""The durability layer's three promises, tested in isolation and
+end-to-end: a torn tail costs at most the torn frame, bit-rot is
+quarantined instead of trusted, and a broken disk degrades the run
+without touching its output."""
+
+import errno
+import os
+import pickle
+
+import pytest
+
+from repro import api as pipeline
+from repro.engine.path import AlertPath
+from repro.resilience import wire
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.deadletter import DeadLetterQueue
+from repro.resilience.durability import (
+    CheckpointStore,
+    DurabilityStatus,
+    RealFilesystem,
+    SegmentedWal,
+    default_filesystem,
+    recover_checkpoint,
+)
+from repro.resilience.faults import (
+    CollectorCrash,
+    ENV_FAULT_FS_ERRNO,
+    ENV_FAULT_FS_FAIL_AFTER,
+    ENV_FAULT_FS_KILL_AT,
+    FaultConfig,
+    FaultPlan,
+    FaultyFilesystem,
+    fault_filesystem_from_env,
+)
+from repro.simulation.generator import generate_log
+
+from ..conftest import SEED, SMALL_SCALE
+
+ENTRIES = [("alert", {"n": i, "body": "x" * (i % 7)}) for i in range(40)]
+
+
+def small_checkpoint(system="bgl", n=200):
+    """A genuine PipelineCheckpoint with non-trivial state."""
+    path = AlertPath(system, dead_letters=DeadLetterQueue())
+    for record in list(generate_log(system, scale=1e-4, seed=SEED).records)[:n]:
+        if path.admit(record):
+            path.process(record)
+    return path.snapshot()
+
+
+class TestSegmentedWal:
+    def test_round_trip_across_rotation(self, tmp_path):
+        wal = SegmentedWal(str(tmp_path), segment_bytes=256)
+        for kind, obj in ENTRIES:
+            assert wal.append(kind, obj)
+        wal.close()
+        assert len(wal.segments()) > 1  # rotation actually happened
+        assert wal.appended == wal.persisted == len(ENTRIES)
+
+        fresh = SegmentedWal(str(tmp_path), segment_bytes=256)
+        assert list(fresh.replay()) == ENTRIES
+        assert not fresh.status.degraded
+
+    def test_manual_sync_mode(self, tmp_path):
+        wal = SegmentedWal(str(tmp_path), sync_every=0)
+        for kind, obj in ENTRIES[:5]:
+            assert wal.append(kind, obj)
+        assert wal.sync()
+        wal.close()
+        assert list(SegmentedWal(str(tmp_path)).replay()) == ENTRIES[:5]
+
+    def test_torn_tail_is_truncated_and_appendable(self, tmp_path):
+        wal = SegmentedWal(str(tmp_path))
+        for kind, obj in ENTRIES[:10]:
+            wal.append(kind, obj)
+        wal.close()
+        segment = tmp_path / wal.segments()[-1]
+        clean_size = segment.stat().st_size
+        with open(segment, "ab") as handle:
+            handle.write(b"\xde\xad\xbe")  # half-written frame, then SIGKILL
+
+        recovered = SegmentedWal(str(tmp_path))
+        assert list(recovered.replay()) == ENTRIES[:10]
+        assert segment.stat().st_size == clean_size  # tail cut off
+        assert any("torn tail" in note for note in recovered.status.notes)
+        assert not recovered.status.degraded  # recovery, not failure
+
+        recovered.append("late", 1)
+        recovered.close()
+        assert list(SegmentedWal(str(tmp_path)).replay()) == (
+            ENTRIES[:10] + [("late", 1)]
+        )
+
+    def test_bit_rot_mid_journal_quarantines_and_stops(self, tmp_path):
+        wal = SegmentedWal(str(tmp_path), segment_bytes=256)
+        for kind, obj in ENTRIES:
+            wal.append(kind, obj)
+        wal.close()
+        segments = wal.segments()
+        assert len(segments) > 2
+        victim = tmp_path / segments[1]
+        data = bytearray(victim.read_bytes())
+        data[wire.HEADER_SIZE + 10] ^= 0xFF
+        victim.write_bytes(bytes(data))
+
+        recovered = SegmentedWal(str(tmp_path), segment_bytes=256)
+        replayed = list(recovered.replay())
+        # Everything before the rot survives; nothing after it is trusted.
+        assert replayed == ENTRIES[:len(replayed)]
+        assert len(replayed) < len(ENTRIES)
+        assert (tmp_path / (segments[1] + ".corrupt")).exists()
+        assert any("skipped" in note for note in recovered.status.notes)
+
+    def test_enospc_degrades_with_exact_accounting(self, tmp_path):
+        status = DurabilityStatus()
+        wal = SegmentedWal(
+            str(tmp_path), fs=FaultyFilesystem(fail_after=0), status=status
+        )
+        results = [wal.append("alert", i) for i in range(5)]
+        assert results == [False] * 5
+        assert status.degraded
+        assert f"OSError({errno.ENOSPC}," in status.reason
+        assert status.unpersisted_wal_records == 5
+        assert wal.appended == 5 and wal.persisted == 0
+
+    def test_reset_drops_segments(self, tmp_path):
+        wal = SegmentedWal(str(tmp_path))
+        wal.append("alert", 1)
+        wal.close()
+        assert wal.segments()
+        wal.reset()
+        assert wal.segments() == []
+        assert list(SegmentedWal(str(tmp_path)).replay()) == []
+
+
+def _encode_dict(payload, meta):
+    return wire.encode_frame(pickle.dumps({"meta": meta, "payload": payload}))
+
+
+def _decode_dict(data):
+    bundle = pickle.loads(data)
+    return bundle["payload"], bundle["meta"]
+
+
+def dict_store(directory, token="t", **kwargs):
+    return CheckpointStore(
+        str(directory), token=token,
+        encode=_encode_dict, decode=_decode_dict, **kwargs,
+    )
+
+
+class TestCheckpointStore:
+    def test_pipeline_checkpoint_round_trip(self, tmp_path):
+        checkpoint = small_checkpoint()
+        store = CheckpointStore(str(tmp_path), token="run")
+        assert store.save(checkpoint)
+        assert store.saved == 1
+
+        loaded = CheckpointStore(str(tmp_path), token="run").load()
+        assert loaded is not None
+        assert loaded.records_consumed == checkpoint.records_consumed
+        assert loaded.raw_alerts == checkpoint.raw_alerts
+        assert loaded.report == checkpoint.report
+        assert loaded.dead_letters == checkpoint.dead_letters
+        assert recover_checkpoint(str(tmp_path), "run") is not None
+
+    def test_keep_window_prunes_old_generations(self, tmp_path):
+        store = dict_store(tmp_path, keep=2)
+        for generation in range(5):
+            assert store.save({"generation": generation})
+        names = [n for n in os.listdir(tmp_path) if n.endswith(".ckpt")]
+        assert sorted(names) == ["gen-00000004.ckpt", "gen-00000005.ckpt"]
+        assert dict_store(tmp_path).load() == {"generation": 4}
+
+    def test_corrupt_newest_falls_back_a_generation(self, tmp_path):
+        store = dict_store(tmp_path)
+        store.save({"generation": 0})
+        store.save({"generation": 1})
+        newest = tmp_path / "gen-00000002.ckpt"
+        data = bytearray(newest.read_bytes())
+        data[-4] ^= 0xFF
+        newest.write_bytes(bytes(data))
+
+        fresh = dict_store(tmp_path)
+        assert fresh.load() == {"generation": 0}
+        assert (tmp_path / "gen-00000002.ckpt.corrupt").exists()
+        assert any("quarantined" in n for n in fresh.status.notes)
+
+    def test_wrong_token_starts_fresh(self, tmp_path):
+        dict_store(tmp_path, token="seed=1").save({"generation": 0})
+        other = dict_store(tmp_path, token="seed=2")
+        assert other.load() is None
+        assert any("different run configuration" in n
+                   for n in other.status.notes)
+
+    def test_mark_complete_leaves_nothing_to_resume(self, tmp_path):
+        store = dict_store(tmp_path)
+        store.save({"generation": 0})
+        assert store.mark_complete()
+        assert dict_store(tmp_path).load() is None
+
+    def test_enospc_save_degrades_with_exact_accounting(self, tmp_path):
+        status = DurabilityStatus()
+        store = dict_store(
+            tmp_path, fs=FaultyFilesystem(fail_after=0), status=status
+        )
+        assert store.save({"generation": 0}) is False
+        assert store.save({"generation": 1}) is False
+        assert status.degraded
+        assert status.unpersisted_checkpoints == 2
+        assert store.saved == 0
+        assert dict_store(tmp_path).load() is None  # nothing half-written
+
+    def test_eio_uses_requested_errno(self, tmp_path):
+        status = DurabilityStatus()
+        store = dict_store(
+            tmp_path,
+            fs=FaultyFilesystem(fail_after=0, fail_errno=errno.EIO),
+            status=status,
+        )
+        store.save({"generation": 0})
+        assert f"OSError({errno.EIO}," in status.reason
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(str(tmp_path), keep=0)
+
+
+class TestEnvArming:
+    def test_unarmed_environment_yields_none(self):
+        assert fault_filesystem_from_env({}) is None
+
+    def test_kill_and_fail_schedules_parse(self):
+        fs = fault_filesystem_from_env({
+            ENV_FAULT_FS_KILL_AT: "7",
+            ENV_FAULT_FS_FAIL_AFTER: "3",
+            ENV_FAULT_FS_ERRNO: "EIO",
+        })
+        assert isinstance(fs, FaultyFilesystem)
+        assert fs.kill_at == 7
+        assert fs.fail_after == 3
+        assert fs.fail_errno == errno.EIO
+
+    def test_unknown_errno_name_falls_back_to_eio(self):
+        fs = fault_filesystem_from_env({
+            ENV_FAULT_FS_FAIL_AFTER: "0",
+            ENV_FAULT_FS_ERRNO: "ENOSUCHTHING",
+        })
+        assert fs.fail_errno == errno.EIO
+
+    def test_default_filesystem_honors_env(self, monkeypatch):
+        for name in (ENV_FAULT_FS_KILL_AT, ENV_FAULT_FS_FAIL_AFTER,
+                     ENV_FAULT_FS_ERRNO):
+            monkeypatch.delenv(name, raising=False)
+        assert type(default_filesystem()) is RealFilesystem
+        monkeypatch.setenv(ENV_FAULT_FS_FAIL_AFTER, "12")
+        armed = default_filesystem()
+        assert isinstance(armed, FaultyFilesystem)
+        assert armed.fail_after == 12
+
+
+class TestDurableResume:
+    """The api-level contract: ``state_dir`` turns an exception-crashed
+    run into one that resumes byte-identical from disk alone — no
+    in-memory manager survives between the attempts."""
+
+    TOKEN = "liberty|scale|seed"
+
+    def _run(self, state_dir, wrap=None, every=300):
+        records = generate_log("liberty", scale=SMALL_SCALE, seed=SEED).records
+        return pipeline.run_stream(
+            wrap(records) if wrap else records,
+            "liberty",
+            dead_letters=DeadLetterQueue(),
+            checkpointer=CheckpointManager(every=every),
+            state_dir=state_dir,
+            state_token=self.TOKEN,
+        )
+
+    def test_crash_resume_from_disk_is_byte_identical(self, tmp_path):
+        baseline = self._run(None)
+
+        plan = FaultPlan(FaultConfig.crash_only(at=2000, seed=SEED))
+        state_dir = str(tmp_path / "state")
+        with pytest.raises(CollectorCrash):
+            self._run(state_dir, wrap=plan.wrap)
+        persisted = recover_checkpoint(state_dir, self.TOKEN)
+        assert persisted is not None
+        assert persisted.records_consumed <= 2000
+
+        resumed = self._run(state_dir, wrap=plan.wrap)
+        assert resumed.stats == baseline.stats
+        assert resumed.raw_alerts == baseline.raw_alerts
+        assert resumed.filtered_alerts == baseline.filtered_alerts
+        assert resumed.category_counts() == baseline.category_counts()
+        assert resumed.corrupted_messages == baseline.corrupted_messages
+        assert (resumed.dead_letters.snapshot()
+                == baseline.dead_letters.snapshot())
+        # Snapshot accounting is cumulative across the crash, and a
+        # clean finish consumes the durable state (manifest complete).
+        assert resumed.checkpoints.taken == baseline.checkpoints.taken
+        assert not resumed.checkpoints.store.status.degraded
+        assert recover_checkpoint(state_dir, self.TOKEN) is None
+
+    def test_degraded_storage_never_perturbs_output(self, tmp_path):
+        baseline = self._run(None)
+        state_dir = str(tmp_path / "doomed")
+        records = generate_log("liberty", scale=SMALL_SCALE, seed=SEED).records
+        manager = CheckpointManager(every=300)
+        result = pipeline.run_stream(
+            records,
+            "liberty",
+            dead_letters=DeadLetterQueue(),
+            checkpointer=manager,
+            state_dir=state_dir,
+            state_token=self.TOKEN,
+        )
+        # Re-run against a filesystem that fails from the first op.
+        doomed = CheckpointStore(
+            state_dir + "-b", token=self.TOKEN,
+            fs=FaultyFilesystem(fail_after=0),
+        )
+        manager_b = CheckpointManager(every=300, store=doomed)
+        degraded = pipeline.run_stream(
+            generate_log("liberty", scale=SMALL_SCALE, seed=SEED).records,
+            "liberty",
+            dead_letters=DeadLetterQueue(),
+            checkpointer=manager_b,
+        )
+        for run in (result, degraded):
+            assert run.stats == baseline.stats
+            assert run.filtered_alerts == baseline.filtered_alerts
+        status = doomed.status
+        assert status.degraded
+        assert doomed.saved == 0
+        assert status.unpersisted_checkpoints == manager_b.taken

@@ -1,0 +1,297 @@
+"""Durable tenant state: a killed ``repro serve`` must resurrect every
+tenant byte-identical (quiesced case), rebuild from the journal alone
+when it died before its first checkpoint, keep a quarantined tenant
+quarantined across the restart, and degrade — not crash — when the
+state directory's disk fails."""
+
+import asyncio
+import os
+import time
+import urllib.parse
+
+import pytest
+
+from repro.logio.writer import renderer_for
+from repro.resilience import wire
+from repro.resilience.faults import FaultyFilesystem
+from repro.service.config import ServiceConfig
+from repro.service.persistence import (
+    TenantStateStore,
+    decode_parked,
+    encode_parked,
+    tenant_dirname,
+)
+from repro.service.router import TenantRouter, format_envelope
+from repro.service.tenant import Tenant
+from repro.simulation.generator import generate_log
+
+from ..conftest import SEED, SMALL_SCALE
+
+#: Counters that must survive a kill/resurrect cycle exactly.  Lifecycle
+#: counters (``resumes``, ``evictions``) legitimately differ between an
+#: interrupted and an uninterrupted run.
+COMPARE = ("received", "shed", "refused", "processed",
+           "alerts_raw", "alerts_filtered")
+
+TENANTS = {"acme": "bgl", "zenith": "spirit"}
+
+
+def wire_lines(tenant_id, system, n=250):
+    render = renderer_for(system)
+    records = list(
+        generate_log(system, scale=SMALL_SCALE, seed=SEED).records
+    )[:n]
+    return [format_envelope(tenant_id, system, render(r)) for r in records]
+
+
+def roomy_config(state_dir=None, **kw):
+    kw.setdefault("max_buffer", 1 << 16)
+    kw.setdefault("alert_tail", 1 << 16)
+    kw.setdefault("dead_letter_capacity", 1 << 16)
+    return ServiceConfig(state_dir=state_dir, **kw)
+
+
+async def quiesce(router, expected):
+    """Wait until every expected tenant has consumed its whole feed."""
+    deadline = asyncio.get_running_loop().time() + 10.0
+    while True:
+        live = [router.tenants[t] for t in expected if t in router.tenants]
+        if len(live) == len(expected) and all(
+            not t.queue and t.counters.received >= expected[t.tenant_id]
+            for t in live
+        ):
+            return
+        if asyncio.get_running_loop().time() >= deadline:
+            raise AssertionError("tenants did not quiesce")
+        await asyncio.sleep(0.005)
+
+
+def tenant_state(router):
+    return {
+        tenant_id: {
+            "counters": tenant.counters.as_dict(),
+            "tail": tenant.alert_tail,
+        }
+        for tenant_id, tenant in router.tenants.items()
+    }
+
+
+class TestParkedCodec:
+    def _parked(self):
+        async def main():
+            tenant = Tenant("acme", "bgl", roomy_config())
+            tenant.start()
+            records = list(
+                generate_log("bgl", scale=SMALL_SCALE, seed=SEED).records
+            )[:120]
+            for record in records:
+                tenant.offer(record)
+            await tenant.drain()
+            return tenant.park()
+
+        return asyncio.run(main())
+
+    def test_round_trip_drops_live_compressor(self):
+        bundle = self._parked()
+        blob = encode_parked(bundle, {"generation": 4})
+        payloads, _end, error = wire.scan_frames(
+            wire.file_header(wire.CHECKPOINT_MAGIC) + blob
+        )
+        assert error is None
+        decoded, meta = decode_parked(payloads[0])
+        assert meta == {"generation": 4}
+        assert decoded.tenant_id == bundle.tenant_id
+        assert decoded.counters.as_dict() == bundle.counters.as_dict()
+        assert decoded.dead_letters == bundle.dead_letters
+        assert decoded.checkpoint.raw_alerts == bundle.checkpoint.raw_alerts
+        assert decoded.checkpoint.stats.compressor is None
+        assert (decoded.checkpoint.stats.stats
+                == bundle.checkpoint.stats.stats)
+
+    def test_wrong_payload_type_rejected(self):
+        import pickle
+
+        with pytest.raises(wire.WireError):
+            decode_parked(pickle.dumps({"meta": {}, "parked": "not one"}))
+        with pytest.raises(wire.WireError):
+            decode_parked(b"\x00 not a pickle at all")
+
+
+class TestDirnames:
+    @pytest.mark.parametrize("tenant_id", [
+        "plain", "a/b:c", "../../escape", "..", ".", ".hidden",
+        "sp ce", "unié", "@t:sys",
+    ])
+    def test_quoting_cannot_escape_the_state_dir(self, tenant_id):
+        name = tenant_dirname(tenant_id)
+        assert os.sep not in name
+        assert name not in ("", ".", "..")
+        assert not name.startswith(".")  # no dotfile/traversal names
+        root = os.path.join("/state", "tenants")
+        joined = os.path.normpath(os.path.join(root, name))
+        assert joined.startswith(root + os.sep)
+        assert urllib.parse.unquote(name) == tenant_id  # still invertible
+
+
+class TestRouterRoundTrip:
+    def test_quiesced_kill_resurrects_byte_identical(self, tmp_path):
+        """ACCEPTANCE (service durability): feed half of each tenant's
+        stream, quiesce, park to disk, throw the router away (the kill),
+        route the second half through a brand-new router — counters and
+        alert tails must equal one uninterrupted run's exactly."""
+        feeds = {
+            tenant_id: wire_lines(tenant_id, system)
+            for tenant_id, system in TENANTS.items()
+        }
+        expected = {t: len(lines) for t, lines in feeds.items()}
+
+        async def uninterrupted():
+            router = TenantRouter(roomy_config())
+            for lines in feeds.values():
+                for line in lines:
+                    router.ingest_line(line)
+            await quiesce(router, expected)
+            return tenant_state(router)
+
+        async def interrupted():
+            state_dir = str(tmp_path / "state")
+            first = TenantRouter(roomy_config(state_dir))
+            for lines in feeds.values():
+                for line in lines[:len(lines) // 2]:
+                    first.ingest_line(line)
+            await quiesce(
+                first, {t: len(v) // 2 for t, v in feeds.items()}
+            )
+            evicted = first.evict_idle(
+                now=time.monotonic() + first.config.idle_ttl + 1
+            )
+            assert sorted(evicted) == sorted(TENANTS)
+            # The kill: nothing in-memory survives to the second router.
+            del first
+
+            second = TenantRouter(roomy_config(state_dir))
+            assert sorted(second.parked) == sorted(TENANTS)
+            for lines in feeds.values():
+                for line in lines[len(lines) // 2:]:
+                    second.ingest_line(line)
+            await quiesce(second, expected)
+            assert not second.state_store.status.degraded
+            for tenant in second.tenants.values():
+                assert tenant.counters.resumes == 1
+            return tenant_state(second)
+
+        reference = asyncio.run(uninterrupted())
+        recovered = asyncio.run(interrupted())
+        for tenant_id in TENANTS:
+            for key in COMPARE:
+                assert (
+                    recovered[tenant_id]["counters"][key]
+                    == reference[tenant_id]["counters"][key]
+                ), f"{tenant_id}.{key} diverged across the kill"
+            assert recovered[tenant_id]["tail"] == reference[tenant_id]["tail"]
+
+    def test_journal_alone_rebuilds_an_uncheckpointed_tenant(self, tmp_path):
+        """Kill before the first checkpoint: checkpoint_every is huge and
+        the tenant is never parked, so recovery has only the WAL."""
+        state_dir = str(tmp_path / "state")
+        lines = wire_lines("acme", "bgl", 200)
+
+        async def main():
+            router = TenantRouter(
+                roomy_config(state_dir, checkpoint_every=10**9)
+            )
+            for line in lines:
+                router.ingest_line(line)
+            await quiesce(router, {"acme": len(lines)})
+            tenant = router.tenants["acme"]
+            assert tenant.checkpoint is None  # really no checkpoint taken
+            return tenant.counters.as_dict(), tenant.alert_tail
+
+        counters, tail = asyncio.run(main())
+
+        store = TenantStateStore(
+            state_dir, roomy_config(state_dir, checkpoint_every=10**9)
+        )
+        parked = store.load_all()
+        assert sorted(parked) == ["acme"]
+        bundle = parked["acme"]
+        assert any("journal alone" in note for note in store.status.notes)
+        for key in COMPARE:
+            assert bundle.counters.as_dict()[key] == counters[key], key
+        assert bundle.counters.conserves(0)
+        # The full tail fits in a roomy alert_tail, so it survives whole.
+        assert bundle.checkpoint.raw_alerts == tail
+
+    def test_quarantine_survives_the_restart(self, tmp_path):
+        """A tenant that spent its restart budget must come back
+        quarantined — a crash-loop cannot launder its budget through a
+        service restart."""
+        state_dir = str(tmp_path / "state")
+
+        def doomed(tenant_id, record):
+            raise RuntimeError("injected poison")
+
+        config = roomy_config(state_dir, fault_hook=doomed, restart_budget=0)
+        lines = wire_lines("acme", "bgl", 50)
+
+        async def crash_out():
+            router = TenantRouter(config)
+            for line in lines:
+                router.ingest_line(line)
+            await router.drain()
+            tenant = router.tenants["acme"]
+            assert tenant.quarantined
+            assert tenant.counters.conserves(0)
+            return tenant.counters.as_dict()
+
+        final = asyncio.run(crash_out())
+
+        async def come_back():
+            # Same restart budget, but no fault hook: the tenant must be
+            # quarantined by its persisted crash count, not by crashing
+            # again.
+            clean = roomy_config(state_dir, restart_budget=0)
+            router = TenantRouter(clean)
+            assert sorted(router.parked) == ["acme"]
+            router.ingest_line(lines[0])
+            tenant = router.tenants["acme"]
+            assert tenant.quarantined
+            await router.drain()
+            assert tenant.counters.conserves(0)
+            # The offered line was refused, not processed.
+            assert tenant.counters.processed == final["processed"]
+            assert tenant.counters.refused == final["refused"] + 1
+
+        asyncio.run(come_back())
+
+    def test_degraded_storage_keeps_the_tenant_serving(self, tmp_path):
+        """ENOSPC on every state write: the tenant's output and
+        conservation are untouched; the shared status carries the latch."""
+        config = roomy_config(str(tmp_path / "state"))
+        store = TenantStateStore(
+            str(tmp_path / "state"), config, fs=FaultyFilesystem(fail_after=0)
+        )
+        records = list(
+            generate_log("bgl", scale=SMALL_SCALE, seed=SEED).records
+        )[:200]
+
+        async def run(persistence):
+            tenant = Tenant("acme", "bgl", config, persistence=persistence)
+            tenant.start()
+            for record in records:
+                tenant.offer(record)
+            await tenant.drain()
+            return tenant
+
+        plain = asyncio.run(run(None))
+        degraded = asyncio.run(run(store.for_tenant("acme", "bgl")))
+
+        assert store.status.degraded
+        assert degraded.counters.conserves(0)
+        assert degraded.alert_tail == plain.alert_tail
+        for key in COMPARE:
+            assert (degraded.counters.as_dict()[key]
+                    == plain.counters.as_dict()[key]), key
+        # And nothing half-written is trusted on the next startup.
+        fresh = TenantStateStore(str(tmp_path / "state"), config)
+        assert fresh.load_all() == {}
