@@ -45,6 +45,7 @@ from repro.resilience.backpressure import BackpressureConfig  # noqa: E402
 
 OUTPUT = REPO / "benchmarks" / "output" / "BENCH_pipeline.json"
 ENGINE_OUTPUT = REPO / "benchmarks" / "output" / "BENCH_engine.json"
+PREDICTION_OUTPUT = REPO / "benchmarks" / "output" / "BENCH_prediction.json"
 
 SYSTEM = "liberty"
 WORKER_SWEEP = (2, 4, 8)
@@ -52,6 +53,13 @@ BATCH_SIZE = 2048
 
 #: Alert density of the synthetic stream: one tagged record per ALERT_EVERY.
 ALERT_EVERY = 11
+
+#: Timing runs per engine-matrix row; the best is recorded.  Scheduler
+#: noise on a shared host is one-sided — it only ever makes a run look
+#: slower — so best-of-N converges on the code's speed, and the
+#: committed baseline (which the perf gate ratchets against) is not an
+#: artifact of one bad scheduling moment.
+ENGINE_REPEATS = 2
 
 
 def synthetic_stream(n: int):
@@ -76,19 +84,22 @@ def synthetic_stream(n: int):
     return records
 
 
-def timed_run(records, parallel=None, backpressure=None):
+def timed_run(records, parallel=None, backpressure=None, predict=None):
     t0 = time.perf_counter()
     result = api.run_stream(
         records, SYSTEM, parallel=parallel, backpressure=backpressure,
+        predict=predict,
     )
     return result, time.perf_counter() - t0
 
 
 def engine_driver_configs(workers: int):
-    """One (parallel, backpressure) pair per engine driver.  The bounded
+    """One ``timed_run`` kwargs dict per engine driver row.  The bounded
     configs use throughput-sized ticks; buffers stay roomy and the source
     pausable, so output is exact (nothing shed) and the measured cost is
-    the bounded pump itself."""
+    the bounded pump itself.  The ``serial-predict`` row is the serial
+    schedule with the online prediction stage observing the sink — its
+    cost relative to plain serial is what the perf gate ratchets."""
     parallel = ParallelConfig(workers=workers, batch_size=BATCH_SIZE)
     bounded = BackpressureConfig(
         max_buffer=4 * BATCH_SIZE, filter_buffer=BATCH_SIZE,
@@ -96,10 +107,11 @@ def engine_driver_configs(workers: int):
         filter_batch=BATCH_SIZE,
     )
     return {
-        "serial": (None, None),
-        "sharded": (parallel, None),
-        "bounded": (None, bounded),
-        "bounded-sharded": (parallel, bounded),
+        "serial": {},
+        "sharded": {"parallel": parallel},
+        "bounded": {"backpressure": bounded},
+        "bounded-sharded": {"parallel": parallel, "backpressure": bounded},
+        "serial-predict": {"predict": True},
     }
 
 
@@ -192,14 +204,17 @@ def main(argv=None) -> int:
     engine_workers = min(4, cpu_count or 1)
     driver_runs = []
     engine_baseline = engine_serial_rps = None
+    rps_by_driver = {}
     print(f"engine driver matrix ({engine_workers} workers where sharded):")
-    for name, (parallel, bounded) in engine_driver_configs(
-        engine_workers
-    ).items():
-        result, secs = timed_run(
-            records, parallel=parallel, backpressure=bounded,
-        )
+    for name, run_kwargs in engine_driver_configs(engine_workers).items():
+        best = None
+        for _ in range(ENGINE_REPEATS):
+            attempt = timed_run(records, **run_kwargs)
+            if best is None or attempt[1] < best[1]:
+                best = attempt
+        result, secs = best
         rps = args.records / secs
+        rps_by_driver[name] = rps
         if engine_baseline is None:
             assert name == "serial", "serial must lead the driver matrix"
             engine_baseline = signature(result)
@@ -210,7 +225,10 @@ def main(argv=None) -> int:
         driver_runs.append({
             "driver": name,
             "cpu_count": cpu_count,
-            "workers": engine_workers if parallel is not None else 1,
+            "workers": (
+                engine_workers if run_kwargs.get("parallel") is not None
+                else 1
+            ),
             "seconds": round(secs, 3),
             "records_per_sec": round(rps, 1),
             "speedup_vs_serial": round(rps / engine_serial_rps, 3),
@@ -219,6 +237,32 @@ def main(argv=None) -> int:
             "equivalent_to_serial": True,
         })
         print(f"{name:<16}: {rps:12,.0f} rec/s  ({secs:.2f}s)")
+
+    # The online prediction stage's throughput cost, as a fraction of
+    # plain serial — mirrored into BENCH_prediction.json (when present)
+    # so the prediction bench carries the cost next to the quality
+    # numbers it buys, and the perf gate can ratchet both from one file.
+    predict_overhead = None
+    if "serial-predict" in rps_by_driver:
+        predict_overhead = round(
+            1.0 - rps_by_driver["serial-predict"] / rps_by_driver["serial"],
+            4,
+        )
+        print(f"prediction overhead vs serial: {predict_overhead:.1%}")
+        if PREDICTION_OUTPUT.exists():
+            pred_report = json.loads(PREDICTION_OUTPUT.read_text())
+            pred_report["throughput"] = {
+                "records": args.records,
+                "serial_records_per_sec": round(rps_by_driver["serial"], 1),
+                "serial_predict_records_per_sec": round(
+                    rps_by_driver["serial-predict"], 1
+                ),
+                "overhead_frac": predict_overhead,
+            }
+            PREDICTION_OUTPUT.write_text(
+                json.dumps(pred_report, indent=1) + "\n", encoding="utf-8"
+            )
+            print(f"updated {PREDICTION_OUTPUT.relative_to(REPO)} throughput")
 
     engine_report = {
         "benchmark": "engine_driver_matrix",

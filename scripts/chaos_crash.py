@@ -19,20 +19,27 @@ process exits 1 if any phase saw one):
    checkpoint write in half, fsyncs the torn prefix, and SIGKILLs the
    process mid-write.  The final run must complete and fingerprint
    byte-identical to the baseline.
-3. **ENOSPC / EIO** — ``REPRO_FAULT_FS_FAIL_AFTER`` makes the disk fail
+3. **Online-prediction kill cycles** (``--predict-cycles``, default 6)
+   — the kill-and-restart contract of phase 2, with the streaming
+   correlation miner + online predictor ensemble riding the run
+   (``predict=True``).  The fingerprint widens to cover the full
+   warning stream, ensemble membership, refit count, and correlation
+   graph, so a resumed run that drops, duplicates, or re-times a single
+   warning — or resumes the miner ahead of the filter clocks — fails.
+4. **ENOSPC / EIO** — ``REPRO_FAULT_FS_FAIL_AFTER`` makes the disk fail
    mid-run and stay failed.  The run must still complete with the
    baseline fingerprint (zero alert loss) while the durability status
    accounts for every unpersisted checkpoint exactly:
    ``taken == saved + unpersisted``.
-4. **RLIMIT_FSIZE** — the real OS refuses writes over a tiny file-size
-   cap (EFBIG with SIGXFSZ ignored); same contract as phase 3, no
+5. **RLIMIT_FSIZE** — the real OS refuses writes over a tiny file-size
+   cap (EFBIG with SIGXFSZ ignored); same contract as phase 4, no
    injection involved.
-5. **Torn-tail / bit-rot fuzz** — in-process: random truncations and
+6. **Torn-tail / bit-rot fuzz** — in-process: random truncations and
    byte flips over WAL segments must replay to a clean *prefix* (never
    an exception, never reordered or invented entries); a corrupted
    checkpoint generation must quarantine and fall back to the previous
    generation.
-6. **Service kill** (skippable with ``--skip-service``) — a 10-tenant
+7. **Service kill** (skippable with ``--skip-service``) — a 10-tenant
    ``repro serve`` session over loopback TCP is SIGKILLed between
    quiesced bursts and restarted from its ``--state-dir``; the drained
    final report (counters and alert tails) must match an uninterrupted
@@ -118,7 +125,7 @@ def result_fingerprint(result) -> str:
     statistics, both alert streams, the Table-4 category counts, and the
     dead-letter tally.  Runtime dynamics (throughput, queue peaks) are
     deliberately excluded — a resumed run legitimately differs there."""
-    payload = "\n".join([
+    parts = [
         repr(result.stats),
         repr([(a.timestamp, a.source, a.category) for a in result.raw_alerts]),
         repr([
@@ -128,7 +135,27 @@ def result_fingerprint(result) -> str:
         repr(sorted(result.category_counts().items())),
         repr(result.corrupted_messages),
         repr(result.dead_letters.quarantined if result.dead_letters else 0),
-    ])
+    ]
+    prediction = getattr(result, "prediction", None)
+    if prediction is not None:
+        # A predict-enabled run widens the claim: the exact warning
+        # stream, ensemble membership, refit schedule, and correlation
+        # graph must all survive kill/recover.
+        parts += [
+            repr([
+                (w.t, w.category, w.score, w.kind, w.valid_from, w.valid_until)
+                for w in prediction.warnings
+            ]),
+            repr(prediction.warnings_emitted),
+            repr([
+                (m.target, m.kind, m.precision, m.recall, m.f1)
+                for m in prediction.members
+            ]),
+            repr(prediction.refits),
+            repr(prediction.observed),
+            repr(prediction.graph),
+        ]
+    payload = "\n".join(parts)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -167,6 +194,7 @@ def batch_worker(args) -> int:
     token = (
         f"chaos|driver={args.driver}|system={args.system}"
         f"|scale={args.scale!r}|seed={args.seed}"
+        f"|predict={'on' if args.predict else 'off'}"
     )
     result = api.run_stream(
         source, args.system,
@@ -174,6 +202,7 @@ def batch_worker(args) -> int:
         checkpointer=checkpointer,
         backpressure=backpressure, parallel=parallel,
         state_dir=args.state_dir or None, state_token=token,
+        predict=bool(args.predict),
     )
     if restore_fsize is not None:
         restore_fsize()
@@ -183,6 +212,10 @@ def batch_worker(args) -> int:
         "records": len(records),
         "raw_alerts": len(result.raw_alerts),
         "filtered_alerts": len(result.filtered_alerts),
+        "warnings": (
+            result.prediction.warnings_emitted
+            if result.prediction is not None else None
+        ),
         "taken": checkpointer.taken if checkpointer is not None else 0,
         "saved": store.saved if store is not None else 0,
         "fs_ops": (
@@ -221,12 +254,15 @@ class _WorkerOutput:
 def run_batch_worker(
     driver: str, system: str, scale: float, seed: int,
     state_dir=None, kill_at_record=None, fault_env=None, rlimit_fsize=0,
+    predict=False,
 ):
     cmd = [
         sys.executable, str(Path(__file__).resolve()), "--worker", "batch",
         "--driver", driver, "--system", system, "--scale", repr(scale),
         "--seed", str(seed), "--checkpoint-every", str(CHECKPOINT_EVERY),
     ]
+    if predict:
+        cmd += ["--predict"]
     if state_dir:
         cmd += ["--state-dir", str(state_dir)]
     if kill_at_record:
@@ -261,7 +297,8 @@ def run_batch_worker(
 
 
 # ---------------------------------------------------------------------------
-# phases 1-4: baselines, kill cycles, full-disk, file-size cap
+# phases 1-5: baselines, kill cycles (plain + prediction), full-disk,
+# file-size cap
 # ---------------------------------------------------------------------------
 
 
@@ -389,6 +426,95 @@ def kill_cycle_phase(args, rng, baselines, failures):
         failures.append("no SIGKILL landed inside a durability write")
 
 
+#: Online-prediction matrix: (driver, system, scale, generator seed).
+#: These are the calibrated golden scenarios (see scripts/make_golden.py)
+#: at the same seeds, so every run installs ensemble members and emits a
+#: non-trivial warning stream for the widened fingerprint to pin.
+PREDICT_MATRIX = (
+    ("serial", "thunderbird", 3e-4, 11),
+    ("sharded", "redstorm", 1e-4, 11),
+)
+
+
+def prediction_kill_phase(args, rng, failures):
+    """Kill/recover with the prediction stage riding the run: the
+    recovered warning stream, members, refits, and correlation graph
+    must be byte-identical to the uninterrupted baseline's."""
+    baselines = {}
+    for driver, system, scale, seed in PREDICT_MATRIX:
+        rc, base, proc = run_batch_worker(
+            driver, system, scale, seed, predict=True
+        )
+        if rc != 0 or base is None:
+            failures.append(
+                f"predict baseline {driver}: rc={rc}: {proc.stderr[-500:]}"
+            )
+            continue
+        if not base["warnings"]:
+            failures.append(
+                f"predict baseline {driver} ({system}): no warnings "
+                "emitted — the prediction fingerprint would pin nothing"
+            )
+        baselines[driver] = base
+        print(f"  baseline {driver:8s} ({system}): "
+              f"{base['records']:,} records, {base['warnings']} warnings")
+
+    kills = 0
+    for cycle in range(args.predict_cycles):
+        driver, system, scale, seed = PREDICT_MATRIX[
+            cycle % len(PREDICT_MATRIX)
+        ]
+        base = baselines.get(driver)
+        if base is None:
+            continue
+        state_dir = Path(args.tmp) / f"predict-{cycle:03d}"
+        kill_at = rng.randrange(CHECKPOINT_EVERY // 2, base["records"])
+        final = None
+        for attempt in range(3):  # one armed attempt, two clean restarts
+            rc, out, proc = run_batch_worker(
+                driver, system, scale, seed, state_dir=state_dir,
+                kill_at_record=kill_at if attempt == 0 else None,
+                predict=True,
+            )
+            if rc == 0 and out is not None:
+                final = out
+                break
+            if rc != SIGKILL_RC:
+                failures.append(
+                    f"predict cycle {cycle} ({driver}): worker died "
+                    f"rc={rc} (not SIGKILL): {proc.stderr[-500:]}"
+                )
+                break
+            kills += 1
+        if final is None:
+            if not failures or f"predict cycle {cycle}" not in failures[-1]:
+                failures.append(
+                    f"predict cycle {cycle} ({driver}): never completed"
+                )
+            continue
+        if final["fingerprint"] != base["fingerprint"]:
+            failures.append(
+                f"predict cycle {cycle} ({driver}, killed at record "
+                f"{kill_at}): recovered prediction output diverged from "
+                "the uninterrupted baseline"
+            )
+        if final["durability"] and final["durability"]["degraded"]:
+            failures.append(
+                f"predict cycle {cycle} ({driver}): unexpected degraded "
+                f"durability: {final['durability']['reason']}"
+            )
+    print(f"  {args.predict_cycles} cycles, {kills} SIGKILLs, warning "
+          "streams and correlation graphs recovered byte-identical"
+          if not failures else
+          f"  {args.predict_cycles} cycles, {kills} SIGKILLs, "
+          f"{len(failures)} failures so far")
+    if kills < args.predict_cycles and baselines:
+        failures.append(
+            f"only {kills} prediction kills landed across "
+            f"{args.predict_cycles} cycles"
+        )
+
+
 def full_disk_phase(args, rng, baselines, failures):
     from repro.resilience import faults
 
@@ -467,7 +593,7 @@ def rlimit_phase(args, baselines, failures):
 
 
 # ---------------------------------------------------------------------------
-# phase 5: torn-tail / bit-rot fuzz (in-process)
+# phase 6: torn-tail / bit-rot fuzz (in-process)
 # ---------------------------------------------------------------------------
 
 
@@ -570,7 +696,7 @@ def fuzz_phase(args, rng, failures):
 
 
 # ---------------------------------------------------------------------------
-# phase 6 + worker: SIGKILL a live multi-tenant serve session
+# phase 7 + worker: SIGKILL a live multi-tenant serve session
 # ---------------------------------------------------------------------------
 
 
@@ -839,6 +965,9 @@ def main() -> int:
     )
     parser.add_argument("--cycles", type=int, default=25,
                         help="SIGKILL/recover cycles across the drivers")
+    parser.add_argument("--predict-cycles", type=int, default=6,
+                        help="SIGKILL/recover cycles with online "
+                             "prediction riding the run")
     parser.add_argument("--seed", type=int, default=2007)
     parser.add_argument("--fuzz-trials", type=int, default=60)
     parser.add_argument("--service-tenants", type=int, default=10)
@@ -861,6 +990,8 @@ def main() -> int:
                         help=argparse.SUPPRESS)
     parser.add_argument("--rlimit-fsize", type=int, default=0,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--predict", action="store_true",
+                        help=argparse.SUPPRESS)
     args = parser.parse_args()
 
     if args.worker == "batch":
@@ -880,17 +1011,21 @@ def main() -> int:
         print(f"phase 2: {args.cycles} SIGKILL/recover cycles")
         kill_cycle_phase(args, rng, baselines, failures)
 
-        print("phase 3: full-disk (ENOSPC / EIO) degradation")
+        print(f"phase 3: {args.predict_cycles} online-prediction "
+              "SIGKILL/recover cycles")
+        prediction_kill_phase(args, rng, failures)
+
+        print("phase 4: full-disk (ENOSPC / EIO) degradation")
         full_disk_phase(args, rng, baselines, failures)
 
-        print("phase 4: kernel file-size cap (RLIMIT_FSIZE / EFBIG)")
+        print("phase 5: kernel file-size cap (RLIMIT_FSIZE / EFBIG)")
         rlimit_phase(args, baselines, failures)
 
-        print("phase 5: torn-tail / bit-rot fuzz")
+        print("phase 6: torn-tail / bit-rot fuzz")
         fuzz_phase(args, rng, failures)
 
         if not args.skip_service:
-            print("phase 6: serve-session SIGKILL / resurrection")
+            print("phase 7: serve-session SIGKILL / resurrection")
             try:
                 failures.extend(kill_service_check(
                     args.service_tenants, args.service_scale, args.seed,

@@ -29,10 +29,12 @@ sys.path.insert(0, str(REPO / "src"))
 from repro import api  # noqa: E402
 from repro.logio.reader import read_log  # noqa: E402
 from repro.logio.writer import write_log  # noqa: E402
-from repro.simulation.generator import generate_log  # noqa: E402
+from repro.simulation.generator import LogGenerator, generate_log  # noqa: E402
+from repro.streaming import PredictionConfig  # noqa: E402
 from repro.systems.specs import SYSTEMS  # noqa: E402
 
 GOLDEN_DIR = REPO / "tests" / "fixtures" / "golden"
+PREDICTION_DIR = GOLDEN_DIR / "prediction"
 SEED = 20070625
 MAX_RECORDS = 400
 
@@ -101,10 +103,116 @@ def build(system: str) -> None:
           f"{result.filtered_alert_count} filtered alerts -> {out.name}")
 
 
+# -- online prediction fixtures ---------------------------------------------
+#
+# The three calibrated failure scenarios (VAPI storm, PBS checkpoint
+# bug, DDN disk storm) at golden-sized scales: the quality benchmark
+# (scripts/prediction_eval.py) runs them much larger to measure
+# precision/recall; these pins are about *equivalence* — the exact
+# warning stream and correlation graph the streaming stage produces for
+# a deterministic stream, replayed under serial and sharded drivers by
+# tests/prediction/test_golden_online.py.  Scales are chosen so every
+# fixture has installed ensemble members, emitted warnings, and a
+# multi-edge graph (the completeness test pins that), while the whole
+# corpus replays in seconds.
+
+PREDICTION_SCENARIOS = (
+    {
+        "name": "thunderbird-vapi-storm",
+        "system": "thunderbird",
+        "scale": 3e-4,
+        "seed": 11,
+        "config": {},
+    },
+    {
+        "name": "liberty-pbs-chk",
+        "system": "liberty",
+        "scale": 5e-4,
+        "seed": 11,
+        "config": {"lead_min": 600.0, "lead_max": 86400.0},
+    },
+    {
+        "name": "redstorm-ddn-disk",
+        "system": "redstorm",
+        "scale": 1e-4,
+        "seed": 11,
+        "config": {},
+    },
+)
+
+
+def warning_rows(report):
+    return [
+        [w.t, w.category, w.score, w.kind, w.valid_from, w.valid_until]
+        for w in report.warnings
+    ]
+
+
+def member_rows(report):
+    return [
+        [m.target, m.kind, m.precision, m.recall, m.f1]
+        for m in report.members
+    ]
+
+
+def graph_rows(graph):
+    return {
+        "finalized_alerts": graph.finalized_alerts,
+        "edges": [
+            [e.category_a, e.category_b, e.count_a, e.count_b,
+             e.coincidences, e.coincidence_rate, e.mean_lag, e.weight]
+            for e in graph.edges
+        ],
+        "source_edges": [
+            [e.category, e.source, e.count, e.weight]
+            for e in graph.source_edges
+        ],
+        "spatial": [
+            [s.category, s.incidents, s.mean_distinct_sources,
+             s.multi_source_fraction]
+            for s in graph.spatial
+        ],
+    }
+
+
+def build_prediction(spec) -> None:
+    generated = LogGenerator(
+        spec["system"], scale=spec["scale"], seed=spec["seed"]
+    ).generate()
+    records = list(generated.records)
+    result = api.run_stream(
+        records, spec["system"], generated=generated,
+        predict=PredictionConfig(**spec["config"]),
+    )
+    report = result.prediction
+    expected = {
+        "name": spec["name"],
+        "system": spec["system"],
+        "scale": spec["scale"],
+        "seed": spec["seed"],
+        "config": spec["config"],
+        "records": len(records),
+        "observed_alerts": report.observed,
+        "warnings_emitted": report.warnings_emitted,
+        "refits": report.refits,
+        "members": member_rows(report),
+        "warnings": warning_rows(report),
+        "graph": graph_rows(report.graph),
+    }
+    out = PREDICTION_DIR / f"{spec['name']}.expected.json"
+    out.write_text(json.dumps(expected, indent=1) + "\n", encoding="utf-8")
+    print(f"{spec['name']}: {len(records)} records, "
+          f"{report.warnings_emitted} warnings, "
+          f"{len(report.graph.edges)} edges -> prediction/{out.name}")
+
+
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for system in sorted(SYSTEMS):
         build(system)
+    PREDICTION_DIR.mkdir(parents=True, exist_ok=True)
+    for spec in PREDICTION_SCENARIOS:
+        build_prediction(spec)
     return 0
 
 

@@ -53,9 +53,18 @@ sys.path.insert(0, str(REPO / "scripts"))
 import bench_report  # noqa: E402
 
 BASELINE = REPO / "benchmarks" / "output" / "BENCH_engine.json"
+PREDICTION_BASELINE = REPO / "benchmarks" / "output" / "BENCH_prediction.json"
 
 #: Allowed relative regression per driver after host normalization.
 TOLERANCE = 0.20
+
+#: Hard ceiling on the online prediction stage's throughput cost: the
+#: serial-predict row must keep at least ``1 - PREDICT_OVERHEAD_MAX`` of
+#: plain serial throughput (before tolerance).  The committed
+#: ``BENCH_prediction.json`` overhead additionally ratchets the floor:
+#: whichever of the two bounds is tighter wins, so the stage can only
+#: get cheaper without a deliberate re-baseline.
+PREDICT_OVERHEAD_MAX = 0.15
 
 #: The serial driver must reach this fraction of the baseline's absolute
 #: records/s — loose enough for slower CI runners, tight enough that an
@@ -131,16 +140,16 @@ def main(argv=None) -> int:
               "(run scripts/bench_report.py --engine and commit)")
         return 1
 
-    def best_run(parallel, backpressure):
+    def best_run(**run_kwargs):
         """Best-of-``--repeats`` timing (noise only ever slows a run)."""
         best = None
         for _ in range(max(1, args.repeats)):
-            attempt = bench_report.timed_run(records, parallel, backpressure)
+            attempt = bench_report.timed_run(records, **run_kwargs)
             if best is None or attempt[1] < best[1]:
                 best = attempt
         return best
 
-    serial_result, serial_seconds = best_run(*configs.pop("serial"))
+    serial_result, serial_seconds = best_run(**configs.pop("serial"))
     serial_sig = bench_report.signature(serial_result)
     measured = {"serial": len(records) / serial_seconds}
     host_factor = measured["serial"] / by_driver["serial"]["records_per_sec"]
@@ -158,8 +167,8 @@ def main(argv=None) -> int:
             f"({SERIAL_ABSOLUTE_FLOOR:.0%} of baseline)"
         )
 
-    for driver, (parallel, backpressure) in sorted(configs.items()):
-        result, seconds = best_run(parallel, backpressure)
+    for driver, run_kwargs in sorted(configs.items()):
+        result, seconds = best_run(**run_kwargs)
         rate = len(records) / seconds
         measured[driver] = rate
         if bench_report.signature(result) != serial_sig:
@@ -197,6 +206,41 @@ def main(argv=None) -> int:
                 f"{ratio_floor:.2f}x floor for a {cores}-core host "
                 f"(target {target:.2f}x less tolerance): the shard "
                 "boundary has gotten expensive relative to serial"
+            )
+
+    if "serial-predict" in measured:
+        ratio = measured["serial-predict"] / measured["serial"]
+        target = 1.0 - PREDICT_OVERHEAD_MAX
+        if PREDICTION_BASELINE.exists():
+            committed = json.loads(PREDICTION_BASELINE.read_text())
+            committed_overhead = (
+                committed.get("throughput", {}).get("overhead_frac")
+            )
+            if committed_overhead is None:
+                failures.append(
+                    "BENCH_prediction.json has no throughput.overhead_frac "
+                    "(run scripts/bench_report.py --engine and commit): the "
+                    "prediction cost ratchet is disarmed"
+                )
+            else:
+                # The committed overhead ratchets the ceiling downward.
+                target = max(target, 1.0 - max(committed_overhead, 0.0))
+        else:
+            failures.append(
+                f"missing {PREDICTION_BASELINE.relative_to(REPO)} "
+                "(run scripts/prediction_eval.py then bench_report.py "
+                "--engine and commit)"
+            )
+        ratio_floor = target * (1.0 - args.tolerance)
+        verdict = "ok" if ratio >= ratio_floor else "REGRESSION"
+        print(f"  predict/serial ratio {ratio:.2f}x "
+              f"(floor {ratio_floor:.2f}x)  {verdict}")
+        if ratio < ratio_floor:
+            failures.append(
+                f"serial-predict keeps only {ratio:.0%} of serial "
+                f"throughput, below the {ratio_floor:.0%} floor (ceiling "
+                f"{1 - target:.0%} overhead less tolerance): the online "
+                "prediction stage has gotten too expensive"
             )
 
     if failures:

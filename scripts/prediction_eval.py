@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Online prediction quality benchmark + CI gate.
+
+Replays three calibrated failure scenarios through the full pipeline
+with the streaming prediction stage enabled and scores the emitted
+warnings against ground truth — the target category's raw alert times
+in the *last third* of the stream, so every scored warning comes from
+an ensemble that had two thirds of the stream to mine correlations and
+refit on.  Results (precision / recall / F1 / lead-time distribution /
+records-per-second) land in ``benchmarks/output/BENCH_prediction.json``
+next to the committed quality floors.
+
+The three scenarios cover the three signature families the online
+ensemble learns:
+
+* ``thunderbird`` VAPI storms — burst-rate members must catch
+  storm onsets seconds-to-minutes ahead (dense, short-lead regime).
+* ``liberty`` PBS_CHK — hour-scale checkpoint failures with day-scale
+  actionable lead; the scenario widens the lead window to match
+  (``lead_min=600s``, ``lead_max=86400s``) and the dispersion-frame
+  members carry it.
+* ``redstorm`` BUS_PAR — DDN disk-storm precursors at default lead.
+
+``--gate`` re-runs the scenarios and fails (exit 1) if any measured
+precision/recall drops below the floors in the *committed*
+``BENCH_prediction.json`` — the CI job that keeps prediction quality
+ratcheted.  Without ``--gate`` the script refreshes the JSON (adding
+the floors below, preserving any ``throughput`` section stamped by
+``bench_report.py --engine``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/prediction_eval.py [--gate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import api  # noqa: E402
+from repro.prediction.base import evaluate  # noqa: E402
+from repro.simulation.generator import LogGenerator  # noqa: E402
+from repro.streaming import PredictionConfig  # noqa: E402
+
+OUTPUT = REPO / "benchmarks" / "output" / "BENCH_prediction.json"
+
+#: Committed quality floors, chosen with margin under the calibrated
+#: measurements (see the JSON for the measured values).  ``--gate``
+#: reads the floors from the committed JSON, so tightening them means
+#: re-running this script and committing the result.
+SCENARIOS = (
+    {
+        "name": "thunderbird-vapi-storm",
+        "system": "thunderbird",
+        "scale": 1e-3,
+        "seed": 11,
+        "target": "VAPI",
+        "config": {},
+        "floors": {"precision": 0.50, "recall": 0.65},
+    },
+    {
+        "name": "liberty-pbs-chk",
+        "system": "liberty",
+        "scale": 1e-3,
+        "seed": 11,
+        "target": "PBS_CHK",
+        # PBS_CHK recurs on an ~2h cadence; day-scale leads are the
+        # actionable window, so the scenario widens the config to match.
+        "config": {"lead_min": 600.0, "lead_max": 86400.0},
+        "floors": {"precision": 0.80, "recall": 0.50},
+    },
+    {
+        "name": "redstorm-ddn-disk",
+        "system": "redstorm",
+        "scale": 2e-4,
+        "seed": 11,
+        "target": "BUS_PAR",
+        "config": {},
+        "floors": {"precision": 0.80, "recall": 0.70},
+    },
+)
+
+
+def lead_times(warn_times, fail_times, lead_min, lead_max):
+    """Per-predicted-failure lead: failure time minus the *latest*
+    qualifying warning (the most recent one an operator could act on)."""
+    from bisect import bisect_left, bisect_right
+
+    warn_times = sorted(warn_times)
+    leads = []
+    for ft in fail_times:
+        lo = bisect_left(warn_times, ft - lead_max)
+        hi = bisect_right(warn_times, ft - lead_min)
+        if hi > lo:
+            leads.append(ft - warn_times[hi - 1])
+    return leads
+
+
+def run_scenario(spec):
+    config = PredictionConfig(**spec["config"])
+    generated = LogGenerator(
+        spec["system"], scale=spec["scale"], seed=spec["seed"]
+    ).generate()
+    # Materialize the stream first so the timed region is the pipeline,
+    # not the generator.
+    records = list(generated.records)
+    t0 = time.perf_counter()
+    result = api.run_stream(
+        records, spec["system"], generated=generated, predict=config
+    )
+    seconds = time.perf_counter() - t0
+
+    target = spec["target"]
+    target_times = sorted(
+        a.timestamp for a in result.raw_alerts if a.category == target
+    )
+    if not target_times:
+        raise SystemExit(f"{spec['name']}: no {target} alerts generated")
+    # Score only the last third: the ensemble needs the head of the
+    # stream to mine correlations and pass its first refits.
+    span = target_times[-1] - target_times[0]
+    cut = target_times[-1] - span / 3.0
+    failures = [t for t in target_times if t >= cut]
+    warnings = [
+        w for w in result.prediction.warnings
+        if w.category == target and w.t >= cut
+    ]
+
+    score = evaluate(
+        warnings, failures, target,
+        lead_min=config.lead_min, lead_max=config.lead_max,
+    )
+    leads = lead_times(
+        [w.t for w in warnings], failures, config.lead_min, config.lead_max
+    )
+    return {
+        "name": spec["name"],
+        "system": spec["system"],
+        "scale": spec["scale"],
+        "seed": spec["seed"],
+        "target": target,
+        "config": spec["config"],
+        "records": len(records),
+        "seconds": round(seconds, 3),
+        "records_per_sec": round(len(records) / seconds, 1),
+        "failures": score.failures,
+        "predicted_failures": score.predicted_failures,
+        "warnings": score.warnings,
+        "correct_warnings": score.correct_warnings,
+        "precision": round(score.precision, 4),
+        "recall": round(score.recall, 4),
+        "f1": round(score.f1, 4),
+        "lead_median_sec": (
+            round(statistics.median(leads), 1) if leads else None
+        ),
+        "lead_min_sec": round(min(leads), 1) if leads else None,
+        "lead_max_sec": round(max(leads), 1) if leads else None,
+        "members": len(result.prediction.members),
+        "refits": result.prediction.refits,
+        "floors": spec["floors"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--gate", action="store_true",
+                        help="fail if any scenario drops below the floors "
+                             "in the committed BENCH_prediction.json")
+    args = parser.parse_args(argv)
+
+    committed_floors = {}
+    if args.gate:
+        if not OUTPUT.exists():
+            print(f"FAIL: missing {OUTPUT.relative_to(REPO)} "
+                  "(run scripts/prediction_eval.py and commit)")
+            return 1
+        committed = json.loads(OUTPUT.read_text())
+        committed_floors = {
+            row["name"]: row.get("floors", {})
+            for row in committed.get("scenarios", [])
+        }
+
+    rows = []
+    failures = []
+    for spec in SCENARIOS:
+        row = run_scenario(spec)
+        rows.append(row)
+        lead = (
+            f"{row['lead_median_sec']:,.0f}s"
+            if row["lead_median_sec"] is not None else "-"
+        )
+        print(
+            f"{row['name']:<24} P={row['precision']:.2f} "
+            f"R={row['recall']:.2f} F1={row['f1']:.2f} "
+            f"lead~{lead:<9} {row['records_per_sec']:>9,.0f} rec/s"
+        )
+        floors = committed_floors.get(spec["name"], {}) if args.gate else {}
+        for metric, floor in sorted(floors.items()):
+            if row.get(metric, 0.0) < floor:
+                failures.append(
+                    f"{row['name']}: {metric} {row[metric]:.3f} below the "
+                    f"committed floor {floor:.2f}"
+                )
+
+    if args.gate:
+        missing = set(committed_floors) - {r["name"] for r in rows}
+        if missing:
+            failures.append(
+                f"committed scenarios not evaluated: {sorted(missing)}"
+            )
+        if failures:
+            print(f"\nFAIL: {len(failures)} prediction-quality violations")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nOK: all scenarios at or above the committed quality floors")
+        return 0
+
+    report = {"benchmark": "online_prediction_quality", "scenarios": rows}
+    if OUTPUT.exists():
+        previous = json.loads(OUTPUT.read_text())
+        if "throughput" in previous:
+            report["throughput"] = previous["throughput"]
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

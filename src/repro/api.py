@@ -79,6 +79,7 @@ def run_stream(
     parallel: Optional[ParallelConfig] = None,
     state_dir: Optional[str] = None,
     state_token: str = "",
+    predict=None,
 ) -> PipelineResult:
     """Run the measurement/tag/filter pipeline over any record stream.
 
@@ -126,6 +127,15 @@ def run_stream(
     the run continues in-memory and
     ``result.checkpoints.store.status`` carries the exact unpersisted
     accounting.
+
+    With ``predict`` (``True`` for defaults, or a
+    :class:`~repro.streaming.PredictionConfig`), a streaming correlation
+    miner and online predictor ensemble ride the alert stream — see
+    :mod:`repro.streaming` — and the result carries a
+    :class:`~repro.streaming.PredictionReport` (lead-time-stamped
+    warnings plus a correlation-graph snapshot) as
+    ``result.prediction``.  Prediction state rides the checkpoint wire,
+    so crash/resume and ``state_dir`` auto-resume restore it exactly.
     """
     validate_run_config(parallel=parallel, backpressure=backpressure)
     if backpressure is not None and dead_letters is None:
@@ -153,6 +163,7 @@ def run_stream(
         dead_letters=dead_letters,
         reorder_tolerance=reorder_tolerance,
         resume_from=resume_from,
+        prediction=_prediction_stage(predict, reorder_tolerance),
     )
     source = iter(records)
     if resume_from is not None:
@@ -175,6 +186,32 @@ def run_stream(
         # into a stream that already completed.
         store.mark_complete()
     return result
+
+
+def _prediction_stage(predict, reorder_tolerance: float):
+    """Build the optional prediction stage from the ``predict`` knob:
+    falsy -> off, ``True`` -> defaults, a ``PredictionConfig`` -> that
+    configuration.  Imported lazily so runs without prediction never pay
+    for the streaming package (or numpy's startup)."""
+    if not predict:
+        return None
+    from .streaming import PredictionConfig, PredictionStage
+
+    config = predict if isinstance(predict, PredictionConfig) else None
+    return PredictionStage(config=config, reorder_tolerance=reorder_tolerance)
+
+
+def _predict_token(predict) -> str:
+    """The ``predict`` knob's contribution to the state-dir fingerprint:
+    prediction state from a differently-configured (or predict-less) run
+    must not be resumed."""
+    if not predict:
+        return "off"
+    from .streaming import PredictionConfig
+
+    if isinstance(predict, PredictionConfig):
+        return repr(predict.key())
+    return "on"
 
 
 def _skip_resumed_prefix(source, path: AlertPath):
@@ -227,6 +264,7 @@ def run_system(
     backpressure: Optional[BackpressureConfig] = None,
     parallel: Optional[ParallelConfig] = None,
     state_dir: Optional[str] = None,
+    predict=None,
     **generator_kwargs,
 ) -> PipelineResult:
     """Generate one machine's log and run the full pipeline over it.
@@ -267,7 +305,8 @@ def run_system(
     if state_dir is not None:
         token = _state_token(
             system=system, scale=scale, seed=seed, threshold=threshold,
-            incident_scale=incident_scale, **generator_kwargs,
+            incident_scale=incident_scale, predict=_predict_token(predict),
+            **generator_kwargs,
         )
     if faults is not None or supervised:
         from .resilience.supervisor import PipelineSupervisor
@@ -291,7 +330,7 @@ def run_system(
         return supervisor.run_system(
             system, scale=scale, seed=seed, threshold=threshold,
             incident_scale=incident_scale, faults=faults,
-            backpressure=backpressure, parallel=parallel,
+            backpressure=backpressure, parallel=parallel, predict=predict,
             **generator_kwargs,
         )
     generator = LogGenerator(
@@ -307,6 +346,7 @@ def run_system(
         generated.records, system, threshold=threshold, generated=generated,
         checkpointer=checkpointer, backpressure=backpressure,
         parallel=parallel, state_dir=state_dir, state_token=token,
+        predict=predict,
     )
 
 
@@ -321,6 +361,7 @@ def run_all(
     backpressure: Optional[BackpressureConfig] = None,
     parallel: Optional[ParallelConfig] = None,
     state_dir: Optional[str] = None,
+    predict=None,
     **generator_kwargs,
 ) -> Dict[str, PipelineResult]:
     """Run the pipeline for all five machines (Table 2's full study).
@@ -347,6 +388,7 @@ def run_all(
                 os.path.join(state_dir, name) if state_dir is not None
                 else None
             ),
+            predict=predict,
             **generator_kwargs,
         )
         for name in SYSTEMS

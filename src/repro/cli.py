@@ -134,6 +134,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             state_dir=(
                 f"{args.state_dir}/{system}" if args.state_dir else None
             ),
+            predict=args.predict or None,
         )
         results[system] = result
         line = (f"# {system}: {result.message_count:,} messages, "
@@ -158,6 +159,9 @@ def cmd_study(args: argparse.Namespace) -> int:
                         f"retried: {shards.batches_retried}"
                         if shards.worker_crashes else "") + "]")
         print(line, file=sys.stderr)
+        if result.prediction is not None:
+            for pred_line in result.prediction.summary_lines():
+                print(f"#   {pred_line}", file=sys.stderr)
     print(tables.all_tables(results))
     return 0
 
@@ -221,6 +225,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         state_dir=args.state_dir,
         checkpoint_every=args.checkpoint_every,
+        predict=args.predict or None,
     )
 
     async def _run() -> dict:
@@ -339,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="priority",
                          help="what to lose first under overload "
                               "(requires --max-buffer)")
+    p_study.add_argument("--predict", action="store_true",
+                         help="run the streaming correlation miner + "
+                              "online predictor ensemble alongside each "
+                              "system and print its warning/graph summary "
+                              "(see the README's Online prediction section)")
     p_study.add_argument("--overload-degrade", action="store_true",
                          help="on sustained overload, degrade gracefully: "
                               "coarser stats and a larger filter threshold "
@@ -404,6 +414,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "resumes every tenant from it")
     p_serve.add_argument("--checkpoint-every", type=int, default=2000,
                          help="records between durable tenant snapshots")
+    p_serve.add_argument("--predict", action="store_true",
+                         help="per-tenant online prediction: every tenant "
+                              "runs the streaming correlation miner + "
+                              "predictor ensemble; warning counts ride the "
+                              "stats endpoint and prediction state rides "
+                              "tenant checkpoints")
     p_serve.set_defaults(func=cmd_serve)
 
     p_stats = sub.add_parser(

@@ -21,12 +21,16 @@ sharded                   batch boundary     byte-identical
 bounded                   drained queues     shedding tolerance
 bounded-sharded           drained queues     shedding tolerance
 service                   drained queues     shedding tolerance
+serial-predict            every record       byte-identical
 ========================  =================  ====================
 
 The ``service`` row is not selected by :func:`build_driver` — it is the
 long-lived multi-tenant daemon (``repro serve``), which runs one
 shedding-tolerant path *per tenant* and checkpoints each tenant at its
-own drained-queue barrier.
+own drained-queue barrier.  ``serial-predict`` likewise is a benchmark
+row, not a separate driver: the serial schedule with the online
+prediction stage observing the sink, whose cost the perf gate ratchets
+against plain serial.
 """
 
 from __future__ import annotations
@@ -96,6 +100,12 @@ CAPABILITY_TABLE = {
             checkpoint_barrier="drained-queues",
             equivalence=SHED_TOLERANCE,
             notes="long-lived multi-tenant ingest; per-tenant isolation",
+        ),
+        DriverCapabilities(
+            name="serial-predict",
+            checkpoint_barrier="record",
+            equivalence=BYTE_IDENTICAL,
+            notes="serial schedule plus the online prediction stage",
         ),
     )
 }

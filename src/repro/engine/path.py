@@ -56,7 +56,7 @@ from ..resilience.deadletter import (
 )
 from ..parallel.sharded import TaggerErrorReplay
 from .result import PipelineResult
-from .stages import AlertListSink, emit_batch
+from .stages import AlertListSink, ObservingSink, emit_batch
 
 #: How far back an alert timestamp may run (collector fan-in jitter,
 #: syslog's one-second granularity) before it is quarantined rather than
@@ -95,12 +95,18 @@ class AlertPath:
         reorder_tolerance: float = DEFAULT_REORDER_TOLERANCE,
         resume_from: Optional[PipelineCheckpoint] = None,
         tagger: Optional[Tagger] = None,
+        prediction: Optional[object] = None,
     ):
         self.system = system
         self.threshold = threshold
         self.dead_letters = dead_letters
         self.reorder_tolerance = reorder_tolerance
         self.tagger = tagger if tagger is not None else Tagger(get_ruleset(system))
+        #: Optional prediction stage (duck-typed:
+        #: :class:`repro.streaming.stage.PredictionStage`); when present
+        #: the sink is wrapped so the stage observes every ruled-on
+        #: alert, and its state rides the checkpoint wire.
+        self.prediction = prediction
 
         if resume_from is not None:
             if resume_from.system != system:
@@ -122,6 +128,12 @@ class AlertPath:
             if dead_letters is not None:
                 dead_letters.restore(resume_from.dead_letters)
             self.resumed_shed_state = resume_from.shed_state
+            if prediction is not None:
+                # getattr: checkpoints pickled before the field existed
+                # restore as a fresh (empty) prediction stage.
+                state = getattr(resume_from, "prediction_state", None)
+                if state is not None:
+                    prediction.load_state_dict(state)
         else:
             self.stats_collector = StatsCollector(system)
             self.filter = SpatioTemporalFilter(
@@ -135,6 +147,8 @@ class AlertPath:
             self.consumed = 0
             self.resumed_shed_state = None
         self.sink = AlertListSink(self.report, raw, filtered)
+        if prediction is not None:
+            self.sink = ObservingSink(self.sink, prediction)
 
     # -- admission ---------------------------------------------------------
 
@@ -357,6 +371,11 @@ class AlertPath:
                 self.dead_letters.snapshot() if self.dead_letters else None
             ),
             shed_state=shed_state,
+            prediction_state=(
+                self.prediction.state_dict()
+                if self.prediction is not None
+                else None
+            ),
         )
 
     # -- finishing ---------------------------------------------------------
@@ -365,6 +384,9 @@ class AlertPath:
         """Finish the stats and assemble the :class:`PipelineResult`;
         ``extras`` carry driver-specific fields (``shard_stats``,
         ``overload``, ``generated``, ``checkpoints``)."""
+        if self.prediction is not None and "prediction" not in extras:
+            self.prediction.finish()
+            extras["prediction"] = self.prediction.report()
         return PipelineResult(
             system=self.system,
             stats=self.stats_collector.finish(),

@@ -24,6 +24,7 @@ from ..resilience.deadletter import DeadLetterQueue, DeadLetterSnapshot
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..resilience.checkpoint import CheckpointManager
     from ..simulation.generator import GeneratedLog
+    from ..streaming.stage import PredictionReport
 
 
 @dataclass
@@ -56,6 +57,10 @@ class PipelineResult:
     #: so post-mortem conservation checks reconcile against this snapshot,
     #: not against ``dead_letters``.
     final_dead_letters: Optional[DeadLetterSnapshot] = None
+    #: Online-prediction outcome (warnings + correlation-graph snapshot)
+    #: when the run was started with ``predict=`` — see
+    #: :class:`repro.streaming.stage.PredictionReport`.
+    prediction: Optional["PredictionReport"] = None
 
     @property
     def message_count(self) -> int:
@@ -123,6 +128,10 @@ class PipelineResult:
                 "degraded:          yes (restart budget exhausted; "
                 "counts cover the stream up to the last checkpoint)"
             )
+        if self.prediction is not None:
+            rows = self.prediction.summary_lines()
+            lines.append(f"prediction:        {rows[0]}")
+            lines.extend(f"                   {row}" for row in rows[1:])
         if self.final_dead_letters is not None:
             final = self.final_dead_letters
             reasons = ", ".join(

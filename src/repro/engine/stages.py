@@ -152,3 +152,46 @@ class AlertListSink:
             record(alert, kept)
             if kept:
                 kept_append(alert)
+
+
+class ObservingSink:
+    """Tees the ruled-on alert flow into a side observer.
+
+    Wraps any sink and forwards every ``emit``/``emit_batch`` to it
+    unchanged, then hands the same pairs to an *observer* — an object
+    with ``observe(alert, kept)`` and optionally
+    ``observe_batch(pairs)`` (the prediction stage is the canonical
+    observer).  The wrapped sink's alert lists and report stay the
+    authoritative state, so code that reads ``path.sink.raw_alerts`` or
+    replaces ``path.sink`` with a service sink keeps working: the
+    wrapper delegates those attributes to the inner sink.
+    """
+
+    def __init__(self, inner: Sink, observer: object):
+        self.inner = inner
+        self.observer = observer
+
+    @property
+    def report(self) -> FilterReport:
+        return self.inner.report  # type: ignore[attr-defined]
+
+    @property
+    def raw_alerts(self) -> List[Alert]:
+        return self.inner.raw_alerts  # type: ignore[attr-defined]
+
+    @property
+    def filtered_alerts(self) -> List[Alert]:
+        return self.inner.filtered_alerts  # type: ignore[attr-defined]
+
+    def emit(self, alert: Alert, kept: bool) -> None:
+        self.inner.emit(alert, kept)
+        self.observer.observe(alert, kept)  # type: ignore[attr-defined]
+
+    def emit_batch(self, pairs: Sequence[Tuple[Alert, bool]]) -> None:
+        emit_batch(self.inner, pairs)
+        native = getattr(self.observer, "observe_batch", None)
+        if native is not None:
+            native(pairs)
+        else:
+            for alert, kept in pairs:
+                self.observer.observe(alert, kept)  # type: ignore[attr-defined]

@@ -29,6 +29,7 @@ paper found to behave like physical processes.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -138,10 +139,15 @@ class DftPredictor(Predictor):
     def warnings(
         self, history: AlertHistory, t0: float, t1: float
     ) -> List[Warning_]:
+        # Span-slice the target category's alerts (ascending) rather than
+        # scanning the whole history; dft_scan re-sorts, so this is
+        # output-identical to the old full-history filter.
+        alerts = history.category_alerts(self.target)
+        times = [a.timestamp for a in alerts]
+        i0 = bisect_left(times, t0)
+        i1 = bisect_left(times, t1)
         events = [
-            (alert.timestamp, alert.source)
-            for alert in history.alerts
-            if alert.category == self.target and t0 <= alert.timestamp < t1
+            (alert.timestamp, alert.source) for alert in alerts[i0:i1]
         ]
         return [
             Warning_(firing.t, self.target, 1.0)

@@ -55,14 +55,26 @@ class PredictorEnsemble:
     "some failure types have no predictive signature" case (Section 1:
         "different categories of failures have different predictive
         signatures (if any)").
+    min_precision:
+        Validation precision below which a *warning-emitting* candidate
+        is disqualified outright, regardless of F1 — the cries-wolf
+        guard: "limiting false positives to an operationally-acceptable
+        rate tends to be the critical factor" (Section 3.3.2).  A
+        candidate that never warned is not crying wolf and is judged on
+        F1 alone (which is then 0).
     lead_min / lead_max:
         The actionable lead window used for scoring.
+
+    Selection is deterministic: candidates are tried in sorted-name
+    order and only a strictly better F1 displaces the incumbent, so
+    equal scores resolve to the alphabetically first kind on every run.
     """
 
     factories: Dict[str, PredictorFactory] = field(
         default_factory=lambda: dict(DEFAULT_FACTORIES)
     )
     min_f1: float = 0.2
+    min_precision: float = 0.25
     min_failures: int = 4
     lead_min: float = 10.0
     lead_max: float = 3600.0
@@ -87,14 +99,16 @@ class PredictorEnsemble:
             if len(v_failures) < self.min_failures:
                 continue
             best: Optional[EnsembleMember] = None
-            for kind, factory in self.factories.items():
-                predictor = factory(target)
+            for kind in sorted(self.factories):
+                predictor = self.factories[kind](target)
                 predictor.train(history, *train_span)
                 warnings = predictor.warnings(history, *validation_span)
                 score = evaluate(
                     warnings, v_failures, target,
                     lead_min=self.lead_min, lead_max=self.lead_max,
                 )
+                if score.warnings and score.precision < self.min_precision:
+                    continue  # cries wolf on validation: never selectable
                 if best is None or score.f1 > best.validation.f1:
                     best = EnsembleMember(target, kind, predictor, score)
             if best is not None and best.validation.f1 >= self.min_f1:

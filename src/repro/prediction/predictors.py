@@ -12,7 +12,10 @@ paper recommends.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from .base import Predictor, Warning_
 from .features import AlertHistory
@@ -61,19 +64,27 @@ class BurstPredictor(Predictor):
         self, history: AlertHistory, t0: float, t1: float
     ) -> List[Warning_]:
         threshold = max(3.0, self._expected_per_window * self.sigma)
-        out: List[Warning_] = []
         # Evaluate at each alert arrival (bursts only begin at alerts).
-        for alert in history.alerts:
-            if not (t0 <= alert.timestamp < t1):
-                continue
-            count = history.count_between(
-                alert.timestamp - self.window, alert.timestamp
-            )
-            if count >= threshold:
-                out.append(
-                    Warning_(alert.timestamp, self.target, float(count))
-                )
-        return _dedupe(out, self.refractory)
+        # Vectorized: searchsorted(side='left') is bisect_left, so the
+        # trailing-window counts equal count_between(t - window, t)
+        # exactly; the greedy in-order refractory pass below is _dedupe.
+        full = history.times_array()
+        i0 = int(np.searchsorted(full, t0))
+        i1 = int(np.searchsorted(full, t1))
+        if i0 >= i1:
+            return []
+        t_arr = full[i0:i1]
+        counts = np.searchsorted(full, t_arr) - np.searchsorted(
+            full, t_arr - self.window
+        )
+        out: List[Warning_] = []
+        last: Optional[float] = None
+        for i in np.nonzero(counts >= threshold)[0]:
+            t = float(t_arr[i])
+            if last is None or t - last >= self.refractory:
+                out.append(Warning_(t, self.target, float(counts[i])))
+                last = t
+        return out
 
 
 class SeverityPredictor(Predictor):
@@ -100,12 +111,12 @@ class SeverityPredictor(Predictor):
     def warnings(
         self, history: AlertHistory, t0: float, t1: float
     ) -> List[Warning_]:
-        out = [
-            Warning_(alert.timestamp, self.target, 1.0)
-            for alert in history.alerts
-            if t0 <= alert.timestamp < t1
-            and alert.record.severity in self.alert_labels
-        ]
+        # One shared pass builds the high-severity time index (memoized
+        # on the history); each target then just slices its span.
+        times = history.severity_times(self.alert_labels)
+        i0 = bisect_left(times, t0)
+        i1 = bisect_left(times, t1)
+        out = [Warning_(t, self.target, 1.0) for t in times[i0:i1]]
         return _dedupe(out, self.refractory)
 
 
@@ -140,29 +151,32 @@ class PrecursorPredictor(Predictor):
 
     def train(self, history: AlertHistory, t0: float, t1: float) -> None:
         span = max(t1 - t0, 1.0)
-        target_times = [
-            t for t in history.category_times(self.target) if t0 <= t < t1
-        ]
-        base_rate = len(target_times) / span  # failures per second
+        target_all = history.category_times_array(self.target)
+        n_target = int(np.searchsorted(target_all, t1)) - int(
+            np.searchsorted(target_all, t0)
+        )
+        base_rate = n_target / span  # failures per second
         self.precursors = {}
-        if not target_times or base_rate <= 0:
+        if not n_target or base_rate <= 0:
             return
+        # Vectorized per candidate category: a "hit" is a candidate alert
+        # with at least one target alert in [ct, ct + lead), i.e.
+        # bisect_left(target, ct + lead) > bisect_left(target, ct) —
+        # searchsorted(side='left') keeps this bit-identical to the old
+        # per-candidate category_count_between loop.
         for category in history.categories:
             if category == self.target:
                 continue
-            cand_times = [
-                t for t in history.category_times(category) if t0 <= t < t1
-            ]
-            if not cand_times:
+            cand_all = history.category_times_array(category)
+            c0 = int(np.searchsorted(cand_all, t0))
+            c1 = int(np.searchsorted(cand_all, t1))
+            if c0 >= c1:
                 continue
-            hits = 0
-            for ct in cand_times:
-                followed = history.category_count_between(
-                    self.target, ct, ct + self.lead
-                )
-                if followed > 0:
-                    hits += 1
-            hit_rate = hits / len(cand_times)
+            cand = cand_all[c0:c1]
+            lo = np.searchsorted(target_all, cand)
+            hi = np.searchsorted(target_all, cand + self.lead)
+            hits = int((hi > lo).sum())
+            hit_rate = hits / cand.size
             expected = min(1.0, base_rate * self.lead)
             lift = hit_rate / expected if expected > 0 else 0.0
             if hits >= self.min_support and lift >= self.min_lift:
@@ -173,10 +187,13 @@ class PrecursorPredictor(Predictor):
     ) -> List[Warning_]:
         if not self.precursors:
             return []
-        out = [
-            Warning_(alert.timestamp, self.target,
-                     self.precursors[alert.category])
-            for alert in history.alerts
-            if t0 <= alert.timestamp < t1 and alert.category in self.precursors
-        ]
+        # Per-precursor span slices instead of a full-history scan;
+        # _dedupe re-sorts, so the merge order does not matter.
+        out: List[Warning_] = []
+        for category in sorted(self.precursors):
+            lift = self.precursors[category]
+            times = history.category_times(category)
+            i0 = bisect_left(times, t0)
+            i1 = bisect_left(times, t1)
+            out.extend(Warning_(t, self.target, lift) for t in times[i0:i1])
         return _dedupe(out, self.refractory)

@@ -71,6 +71,13 @@ class PipelineCheckpoint:
     #: from it, so the snapshot count a resumed run reports covers the
     #: whole logical run, not just the slice since the last crash.
     snapshots_taken: int = 0
+    #: Online-prediction state (the miner's correlation graph, the
+    #: ensemble's members/warnings, and the stage's reorder buffer) when
+    #: the run had ``predict=`` enabled — see
+    #: :meth:`repro.streaming.stage.PredictionStage.state_dict`.  Read
+    #: via ``getattr`` with a ``None`` default so checkpoints pickled
+    #: before this field existed still restore.
+    prediction_state: Optional[Dict[str, Any]] = None
 
     def restore_stats(self) -> StatsCollector:
         """A live stats collector continuing from the snapshot."""

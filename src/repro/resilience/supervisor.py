@@ -77,6 +77,7 @@ class PipelineSupervisor:
         faults: Optional[FaultConfig] = None,
         backpressure: Optional[BackpressureConfig] = None,
         parallel: Optional[ParallelConfig] = None,
+        predict=None,
     ) -> "_pipeline.PipelineResult":
         """Run any replayable record stream to completion under
         supervision; never raises for worker failures — worst case
@@ -124,7 +125,7 @@ class PipelineSupervisor:
                     records, system, threshold=threshold,
                     dead_letters=dead_letters, checkpointer=manager,
                     resume_from=checkpoint, backpressure=backpressure,
-                    parallel=parallel,
+                    parallel=parallel, predict=predict,
                 )
             except Exception as exc:  # worker died: restart from checkpoint
                 failure_log.append(
@@ -153,6 +154,7 @@ class PipelineSupervisor:
         faults: Optional[FaultConfig] = None,
         backpressure: Optional[BackpressureConfig] = None,
         parallel: Optional[ParallelConfig] = None,
+        predict=None,
         **generator_kwargs,
     ) -> "_pipeline.PipelineResult":
         """Generate one system's log (afresh per attempt — the generator
@@ -169,7 +171,7 @@ class PipelineSupervisor:
 
         result = self.run_records(
             factory, system, threshold=threshold, faults=faults,
-            backpressure=backpressure, parallel=parallel,
+            backpressure=backpressure, parallel=parallel, predict=predict,
         )
         if not result.degraded:
             result.generated = holder.get("generated")

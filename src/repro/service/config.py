@@ -49,6 +49,12 @@ class ServiceConfig:
     dead_letter_capacity: int = 1000
     alert_tail: int = 256      #: retained newest alerts per tenant (counts
                                #: are exact regardless; see ServiceAlertSink)
+    #: Per-tenant online prediction: ``True`` enables the streaming
+    #: correlation miner + predictor ensemble with defaults, a
+    #: :class:`~repro.streaming.PredictionConfig` customizes it, and
+    #: falsy (the default) keeps prediction off — tenants then never
+    #: import the streaming package (or numpy).
+    predict: Any = None
 
     # -- supervision / quarantine ----------------------------------------
     restart_budget: int = 3    #: worker crashes tolerated before quarantine

@@ -28,7 +28,9 @@ one received+refused record), so the restored tenant still satisfies
 ``received == shed + refused + processed`` with an empty queue.
 Records that were in flight — queued or still in the socket — when the
 process died have no durable trace and are honestly absent from
-``received``; path-internal state (filter clocks, statistics) rolls
+``received``; path-internal state (filter clocks, statistics, and —
+when the tenant runs with prediction — the correlation miner/ensemble,
+whose state rides ``PipelineCheckpoint.prediction_state``) rolls
 back to the checkpoint.  That is exactly the service's documented
 shedding-tolerance equivalence class; the quiesce-then-kill case
 (drained queues, checkpoint taken) restores byte-identically.

@@ -33,6 +33,7 @@ from typing import Any, Callable, Deque, Optional, Sequence, Tuple
 from ..core.categories import Alert
 from ..core.filtering import FilterReport
 from ..engine.path import AlertPath
+from ..engine.stages import ObservingSink
 from ..logmodel.record import LogRecord
 from ..resilience.backpressure import (
     SHED,
@@ -177,6 +178,7 @@ class Tenant:
             threshold=config.threshold,
             dead_letters=self.dead_letters,
             resume_from=checkpoint,
+            prediction=self._prediction_stage(),
         )
         self._install_sink(
             raw_seed=tuple(self.path.sink.raw_alerts),
@@ -224,6 +226,22 @@ class Tenant:
 
     # -- wiring ------------------------------------------------------------
 
+    def _prediction_stage(self):
+        """A fresh per-tenant prediction stage when ``config.predict``
+        asks for one (``True`` = defaults, a PredictionConfig = custom),
+        else ``None``.  Lazy import so predict-less services never pay
+        for the streaming package.  Checkpoint restore happens inside
+        AlertPath — a rebuilt path's fresh stage is loaded from the
+        checkpoint's ``prediction_state``, so the miner/ensemble roll
+        back with the filter clocks, never ahead of them."""
+        predict = self.config.predict
+        if not predict:
+            return None
+        from ..streaming import PredictionConfig, PredictionStage
+
+        stage_config = predict if isinstance(predict, PredictionConfig) else None
+        return PredictionStage(config=stage_config)
+
     def _install_sink(self, raw_seed=(), filtered_seed=()) -> None:
         self._sink = ServiceAlertSink(
             self.path.report,
@@ -236,6 +254,11 @@ class Tenant:
             ),
         )
         self.path.sink = self._sink
+        if self.path.prediction is not None:
+            # Re-tee the alert flow into the prediction stage: replacing
+            # path.sink above dropped the ObservingSink wrapper AlertPath
+            # installed.  The service sink stays the counting authority.
+            self.path.sink = ObservingSink(self._sink, self.path.prediction)
 
     def start(self) -> None:
         """Spawn the worker task on the running loop."""
@@ -391,6 +414,7 @@ class Tenant:
             threshold=self.config.threshold,
             dead_letters=self.dead_letters,
             resume_from=self.checkpoint,
+            prediction=self._prediction_stage(),
         )
         self.dead_letters.restore(live_letters)
         self._install_sink(
@@ -521,6 +545,14 @@ class Tenant:
             "throughput": round(self.throughput(), 1),
             "conserves": self.counters.conserves(len(self.queue)),
         })
+        prediction = self.path.prediction
+        if prediction is not None:
+            row["prediction"] = {
+                "observed_alerts": prediction.observed,
+                "warnings": prediction.ensemble.warnings_emitted,
+                "refits": prediction.ensemble.refits,
+                "members": len(prediction.ensemble.member_rows()),
+            }
         return row
 
 

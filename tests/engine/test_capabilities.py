@@ -47,6 +47,7 @@ class TestCapabilityTable:
     def test_every_driver_has_a_row(self):
         assert set(CAPABILITY_TABLE) == {
             "serial", "sharded", "bounded", "bounded-sharded", "service",
+            "serial-predict",
         }
 
     def test_equivalence_guarantees(self):
@@ -56,6 +57,8 @@ class TestCapabilityTable:
         assert CAPABILITY_TABLE["bounded-sharded"].equivalence == \
             SHED_TOLERANCE
         assert CAPABILITY_TABLE["service"].equivalence == SHED_TOLERANCE
+        assert CAPABILITY_TABLE["serial-predict"].equivalence == \
+            BYTE_IDENTICAL
 
     def test_checkpoint_barriers(self):
         assert CAPABILITY_TABLE["serial"].checkpoint_barrier == "record"

@@ -2,6 +2,7 @@
 
 import numpy as np
 
+from repro.prediction.base import Predictor, Warning_
 from repro.prediction.ensemble import PredictorEnsemble
 from repro.prediction.features import AlertHistory
 
@@ -91,3 +92,109 @@ class TestEnsemble:
         ensemble.fit(history, (0.0, 0.5), (0.5, 2.0))
         assert ensemble.members == {}
         assert "(none" in ensemble.summary()
+
+
+class ScriptedPredictor(Predictor):
+    """Warns at fixed times — lets a test dictate validation scores."""
+
+    def __init__(self, target, warn_times):
+        self.target = target
+        self._times = warn_times
+
+    def train(self, history, t0, t1):
+        pass
+
+    def warnings(self, history, t0, t1):
+        return [Warning_(t=t, category=self.target, score=1.0)
+                for t in self._times if t0 <= t < t1]
+
+
+def scripted(warn_times):
+    return lambda target: ScriptedPredictor(target, warn_times)
+
+
+class TestSelectionGuards:
+    """The two selection guarantees the online ensemble builds on:
+    a cries-wolf candidate is never selectable, and ties are broken
+    deterministically (alphabetically first kind wins)."""
+
+    #: Failures every 1000 s; scoring lead window [10, 500] so each
+    #: warning can credit exactly one failure.
+    FAILURES = (1000.0, 2000.0, 3000.0, 4000.0)
+    #: One correct warning 100 s before each failure...
+    CORRECT = (900.0, 1900.0, 2900.0, 3900.0)
+    #: ...and false alarms past the last failure's lead window.
+    FALSE = (4600.0, 4700.0, 4800.0, 4900.0)
+
+    def _history(self):
+        return AlertHistory(
+            [make_alert(t, category="FAIL") for t in self.FAILURES]
+        )
+
+    def _fit(self, factories):
+        ensemble = PredictorEnsemble(
+            factories=factories, min_f1=0.2, min_precision=0.6,
+            min_failures=4, lead_min=10.0, lead_max=500.0,
+        )
+        return ensemble.fit(self._history(), (0.0, 500.0), (500.0, 5000.0))
+
+    def test_cries_wolf_candidate_never_selected(self):
+        """The wolf has recall 1.0 and the best F1 (0.67 vs 0.4) *and*
+        sorts first — only the precision guard can exclude it.  A
+        candidate that never warned is judged on F1 alone, not treated
+        as crying wolf."""
+        ensemble = self._fit({
+            "awolf": scripted(self.CORRECT + self.FALSE),   # P=0.5 R=1.0
+            "mute": scripted(()),                           # never warns
+            "zhonest": scripted(self.CORRECT[:1]),          # P=1.0 R=0.25
+        })
+        member = ensemble.members["FAIL"]
+        assert member.kind == "zhonest"
+        assert member.validation.precision == 1.0
+
+    def test_cries_wolf_alone_means_no_member(self):
+        """With only the wolf on offer the category gets *no* predictor:
+        'a predictor that cries wolf is worse than none'."""
+        ensemble = self._fit({"awolf": scripted(self.CORRECT + self.FALSE)})
+        assert ensemble.members == {}
+
+    def test_equal_scores_select_first_kind_deterministically(self):
+        """Two candidates with identical validation scores: the
+        alphabetically first kind wins, independent of the factory
+        dict's insertion order."""
+        times = self.CORRECT[:2]
+        for factories in (
+            {"beta": scripted(times), "alpha": scripted(times)},
+            {"alpha": scripted(times), "beta": scripted(times)},
+        ):
+            ensemble = self._fit(factories)
+            assert ensemble.members["FAIL"].kind == "alpha"
+
+    def test_online_refit_forwards_selection_thresholds(self, monkeypatch):
+        """The streaming ensemble delegates selection to this offline
+        ensemble — its config must reach the constructor, or the online
+        path silently loses the cries-wolf guard."""
+        from repro.streaming import PredictionConfig
+        from repro.streaming import online as online_mod
+
+        captured = {}
+        real = online_mod.PredictorEnsemble
+
+        def spy(**kwargs):
+            captured.update(kwargs)
+            return real(**kwargs)
+
+        monkeypatch.setattr(online_mod, "PredictorEnsemble", spy)
+        config = PredictionConfig(
+            min_precision=0.9, min_f1=0.5, first_refit=8,
+        )
+        ensemble = online_mod.OnlineEnsemble(config)
+        ensemble.advance(
+            [(float(i) * 100.0, "CAT", "n0", None) for i in range(1, 40)]
+        )
+        assert ensemble.refits >= 1
+        assert captured["min_precision"] == 0.9
+        assert captured["min_f1"] == 0.5
+        assert captured["min_failures"] == config.min_failures
+        assert captured["lead_min"] == config.lead_min
+        assert captured["lead_max"] == config.lead_max

@@ -1,0 +1,126 @@
+"""Golden prediction corpus: frozen warning streams per scenario.
+
+Each fixture under ``tests/fixtures/golden/prediction/`` records the
+exact output of the streaming prediction stage — every lead-time-stamped
+warning, the installed ensemble members, and the full correlation-graph
+snapshot — for one calibrated failure scenario's deterministic stream.
+The scenarios replay here under the serial and the sharded driver and
+must reproduce the fixtures *byte-identically* (floats round-trip JSON
+exactly): the finalized alert sequence the stage consumes is a pure
+function of the alert stream, never of the driver's schedule, so any
+drift is a real behavioral change.  Regenerate — only when the change is
+intended — with ``PYTHONPATH=src python scripts/make_golden.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.parallel import ParallelConfig
+from repro.simulation.generator import LogGenerator
+from repro.streaming import PredictionConfig
+
+PREDICTION_DIR = (
+    Path(__file__).resolve().parent.parent / "fixtures" / "golden"
+    / "prediction"
+)
+SCENARIOS = sorted(p.stem.replace(".expected", "")
+                   for p in PREDICTION_DIR.glob("*.expected.json"))
+
+
+def load_expected(name):
+    path = PREDICTION_DIR / f"{name}.expected.json"
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def run_scenario(expected, parallel=None):
+    generated = LogGenerator(
+        expected["system"], scale=expected["scale"], seed=expected["seed"]
+    ).generate()
+    return api.run_stream(
+        generated.records, expected["system"], generated=generated,
+        predict=PredictionConfig(**expected["config"]), parallel=parallel,
+    )
+
+
+# Row builders mirror scripts/make_golden.py exactly; no rounding on
+# either side, so equality here is byte-level equivalence.
+
+def warning_rows(report):
+    return [
+        [w.t, w.category, w.score, w.kind, w.valid_from, w.valid_until]
+        for w in report.warnings
+    ]
+
+
+def member_rows(report):
+    return [
+        [m.target, m.kind, m.precision, m.recall, m.f1]
+        for m in report.members
+    ]
+
+
+def graph_rows(graph):
+    return {
+        "finalized_alerts": graph.finalized_alerts,
+        "edges": [
+            [e.category_a, e.category_b, e.count_a, e.count_b,
+             e.coincidences, e.coincidence_rate, e.mean_lag, e.weight]
+            for e in graph.edges
+        ],
+        "source_edges": [
+            [e.category, e.source, e.count, e.weight]
+            for e in graph.source_edges
+        ],
+        "spatial": [
+            [s.category, s.incidents, s.mean_distinct_sources,
+             s.multi_source_fraction]
+            for s in graph.spatial
+        ],
+    }
+
+
+def assert_matches_expected(expected, result):
+    report = result.prediction
+    assert report is not None
+    assert report.observed == expected["observed_alerts"]
+    assert report.warnings_emitted == expected["warnings_emitted"]
+    assert report.refits == expected["refits"]
+    assert member_rows(report) == expected["members"]
+    assert warning_rows(report) == expected["warnings"]
+    assert graph_rows(report.graph) == expected["graph"]
+
+
+class TestGoldenPrediction:
+    def test_corpus_is_complete(self):
+        """All three calibrated scenarios have committed fixtures."""
+        assert SCENARIOS == [
+            "liberty-pbs-chk", "redstorm-ddn-disk", "thunderbird-vapi-storm"
+        ]
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_corpus_exercises_the_stage(self, name):
+        """A fixture with no warnings, no members, or a bare graph pins
+        nothing: every scenario must exercise the full stage."""
+        expected = load_expected(name)
+        assert expected["warnings_emitted"] > 0
+        assert len(expected["members"]) > 0
+        assert len(expected["graph"]["edges"]) > 1
+        assert expected["graph"]["finalized_alerts"] > 0
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_serial_matches_golden(self, name):
+        expected = load_expected(name)
+        assert_matches_expected(expected, run_scenario(expected))
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_sharded_matches_golden(self, name, env_workers):
+        expected = load_expected(name)
+        result = run_scenario(
+            expected,
+            parallel=ParallelConfig(workers=env_workers, batch_size=2048),
+        )
+        assert_matches_expected(expected, result)
+        assert result.shard_stats is not None
