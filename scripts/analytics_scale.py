@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""CI analytics-at-scale gate: a 10M-record stream through the columnar
+store under a hard address-space cap, then the report replayed from disk.
+
+The stream is a *generator* — records are produced, tagged, and spilled
+without ever materializing the corpus (or the alert list) in memory.
+The process runs with ``RLIMIT_AS`` capped at 4 GiB: an analytics path
+that quietly accumulated per-alert Python objects would blow through the
+cap and kill the job, while the columnar sink + incremental query layer
+must stay comfortably inside.  After the run, ``repro report`` replays
+every table and figure from the store directory alone — no pipeline
+re-run — and the aggregates are checked against closed-form expectations
+of the synthetic stream.
+
+Failure conditions (any -> exit 1):
+
+* the store's raw-alert count differs from the stream's known alert
+  density (one tagged record per ``ALERT_EVERY``);
+* the spilled store disagrees with the run that wrote it (counts,
+  time bounds, manifest completeness);
+* ``repro report`` fails, renders nothing, or reports degradation;
+* peak RSS exceeds the soft memory budget (the hard RLIMIT would have
+  killed the process already, this catches creep before it is fatal).
+
+Usage: PYTHONPATH=src python scripts/analytics_scale.py [--records N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+ADDRESS_SPACE_CAP = 4 * 1024**3  # hard kill for runaway accumulation
+PEAK_RSS_BUDGET = 2 * 1024**3    # soft: catch creep long before the cap
+
+SYSTEM = "liberty"
+ALERT_EVERY = 11  # matches bench_report's synthetic density
+
+
+def cap_address_space() -> bool:
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform: run uncapped
+        return False
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    cap = ADDRESS_SPACE_CAP if hard == resource.RLIM_INFINITY \
+        else min(ADDRESS_SPACE_CAP, hard)
+    resource.setrlimit(resource.RLIMIT_AS, (cap, hard))
+    return True
+
+
+def peak_rss_bytes() -> int:
+    try:
+        import resource
+    except ImportError:
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return rss * 1024 if sys.platform != "darwin" else rss
+
+
+def stream(n: int):
+    """``bench_report.synthetic_stream`` as a generator: the corpus is
+    never held in memory, which is the whole point of this gate."""
+    from repro.core.tagging import RulesetHandle
+    from repro.logmodel.record import LogRecord
+
+    cats = [cat for cat in RulesetHandle(SYSTEM).resolve() if cat.example]
+    for i in range(n):
+        t = i * 0.05
+        source = f"n{i % 29}"
+        if i % ALERT_EVERY == 0:
+            cat = cats[i % len(cats)]
+            yield LogRecord(
+                timestamp=t, source=source, facility=cat.facility,
+                body=cat.example, system=SYSTEM,
+            )
+        else:
+            yield LogRecord(
+                timestamp=t, source=source, facility="kernel",
+                body="routine interconnect heartbeat ok", system=SYSTEM,
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=10_000_000,
+                        help="stream length (default: 10,000,000)")
+    args = parser.parse_args()
+
+    if cap_address_space():
+        print(f"address-space cap: {ADDRESS_SPACE_CAP / 1024**3:.1f} GiB")
+    else:
+        print("address-space cap: unavailable on this platform")
+
+    from repro import api
+    from repro.cli import main as cli_main
+    from repro.store import ColumnarStore
+
+    n = args.records
+    expected_alerts = (n + ALERT_EVERY - 1) // ALERT_EVERY
+    last_alert_t = ((n - 1) // ALERT_EVERY) * ALERT_EVERY * 0.05
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="analytics-scale-") as tmp:
+        store_dir = str(Path(tmp) / SYSTEM)
+        print(f"spilling {n:,} records through the columnar sink ...")
+        t0 = time.perf_counter()
+        result = api.run_stream(stream(n), SYSTEM, store_dir=store_dir)
+        write_secs = time.perf_counter() - t0
+        print(f"  {n / write_secs:,.0f} rec/s; peak RSS so far "
+              f"{peak_rss_bytes() / 1024**2:,.0f} MiB")
+
+        store = ColumnarStore(store_dir)
+        if store.count() != expected_alerts:
+            failures.append(
+                f"store holds {store.count():,} raw alerts, expected "
+                f"{expected_alerts:,} (one per {ALERT_EVERY} records)"
+            )
+        if len(result.raw_alerts) != expected_alerts:
+            failures.append(
+                f"result view reports {len(result.raw_alerts):,} raw "
+                f"alerts, expected {expected_alerts:,}"
+            )
+        bounds = store.time_bounds()
+        if bounds != (0.0, last_alert_t):
+            failures.append(
+                f"store time bounds {bounds} != (0.0, {last_alert_t})"
+            )
+        if not store.complete:
+            failures.append("store manifest not marked complete")
+        if store.degraded:
+            failures.append(f"store degraded: {store.degraded[:3]}")
+        by_cat = store.count_by_category()
+        if sum(raw for raw, _kept in by_cat.values()) != expected_alerts:
+            failures.append("per-category raw counts do not sum to total")
+
+        print(f"replaying report from {len(store.partitions)} partitions "
+              "(no pipeline re-run) ...")
+        t0 = time.perf_counter()
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            rc = cli_main(["report", tmp])
+        replay_secs = time.perf_counter() - t0
+        rendered = out.getvalue()
+        print(f"  report rendered in {replay_secs:.1f}s "
+              f"({len(rendered):,} chars)")
+        if rc != 0:
+            failures.append(f"repro report exited {rc}")
+        if "Table 2" not in rendered or "Figure" not in rendered:
+            failures.append("replayed report is missing tables or figures")
+        if f"{expected_alerts:,}" not in rendered:
+            failures.append(
+                f"replayed tables never show the raw alert count "
+                f"{expected_alerts:,}"
+            )
+
+    peak = peak_rss_bytes()
+    print(f"peak RSS: {peak / 1024**2:,.0f} MiB "
+          f"(budget {PEAK_RSS_BUDGET / 1024**2:,.0f} MiB)")
+    if peak > PEAK_RSS_BUDGET:
+        failures.append(
+            f"peak RSS {peak / 1024**2:,.0f} MiB exceeds the "
+            f"{PEAK_RSS_BUDGET / 1024**2:,.0f} MiB budget: something is "
+            "accumulating per-alert state in memory"
+        )
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} analytics-scale violations")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: 10M-record-class analytics ran spilled, report replayed "
+          "from disk, memory bounded")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

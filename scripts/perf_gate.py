@@ -44,6 +44,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -54,6 +55,7 @@ import bench_report  # noqa: E402
 
 BASELINE = REPO / "benchmarks" / "output" / "BENCH_engine.json"
 PREDICTION_BASELINE = REPO / "benchmarks" / "output" / "BENCH_prediction.json"
+STORE_BASELINE = REPO / "benchmarks" / "output" / "BENCH_store.json"
 
 #: Allowed relative regression per driver after host normalization.
 TOLERANCE = 0.20
@@ -65,6 +67,13 @@ TOLERANCE = 0.20
 #: whichever of the two bounds is tighter wins, so the stage can only
 #: get cheaper without a deliberate re-baseline.
 PREDICT_OVERHEAD_MAX = 0.15
+
+#: Hard ceiling on the columnar store's write-path cost: a serial run
+#: with ``store_dir`` set must keep at least ``1 - STORE_OVERHEAD_MAX``
+#: of plain serial throughput (before tolerance).  As with prediction,
+#: the committed ``BENCH_store.json`` overhead ratchets the bound
+#: tighter: whichever is stricter wins.
+STORE_OVERHEAD_MAX = 0.15
 
 #: The serial driver must reach this fraction of the baseline's absolute
 #: records/s — loose enough for slower CI runners, tight enough that an
@@ -105,7 +114,22 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=REPEATS,
                         help="timing runs per driver; best is scored "
                              f"(default: {REPEATS})")
+    parser.add_argument("--require-cores", type=int, default=None,
+                        help="skip (exit 0) with a notice unless the host "
+                             "has at least this many cores; used by the CI "
+                             "multi-core job so the >1.2x sharded floor is "
+                             "only armed where it can be met")
     args = parser.parse_args(argv)
+
+    if args.require_cores is not None:
+        cores = os.cpu_count() or 1
+        if cores < args.require_cores:
+            print(
+                f"SKIPPED: perf gate requires >= {args.require_cores} cores "
+                f"but this host has {cores}; the multi-core sharded floor "
+                "(ROADMAP item 1a) stays unarmed on this runner"
+            )
+            return 0
 
     baseline = json.loads(BASELINE.read_text())
     records_n = args.records or baseline["records"]
@@ -242,6 +266,54 @@ def main(argv=None) -> int:
                 f"{1 - target:.0%} overhead less tolerance): the online "
                 "prediction stage has gotten too expensive"
             )
+
+    # -- columnar store write-path cost --------------------------------
+    # A serial run with ``store_dir`` must stay near plain serial (the
+    # sink packs pages and appends; it must not dominate).  Measured
+    # here rather than in the driver matrix so the committed engine
+    # baseline's rows stay untouched.
+    with tempfile.TemporaryDirectory(prefix="perf-gate-store-") as tmp:
+        best = None
+        for attempt in range(max(1, args.repeats)):
+            run = bench_report.timed_run(
+                records, store_dir=os.path.join(tmp, f"s{attempt}")
+            )
+            if best is None or run[1] < best[1]:
+                best = run
+        store_result, store_seconds = best
+        if bench_report.signature(store_result) != serial_sig:
+            failures.append("store-backed run: output diverged from serial")
+    ratio = (len(records) / store_seconds) / measured["serial"]
+    target = 1.0 - STORE_OVERHEAD_MAX
+    if STORE_BASELINE.exists():
+        committed_store = json.loads(STORE_BASELINE.read_text())
+        committed_overhead = (
+            committed_store.get("write", {}).get("overhead_frac")
+        )
+        if committed_overhead is None:
+            failures.append(
+                "BENCH_store.json has no write.overhead_frac (run "
+                "scripts/bench_report.py --store and commit): the store "
+                "cost ratchet is disarmed"
+            )
+        else:
+            target = max(target, 1.0 - max(committed_overhead, 0.0))
+    else:
+        failures.append(
+            f"missing {STORE_BASELINE.relative_to(REPO)} "
+            "(run scripts/bench_report.py --store and commit)"
+        )
+    ratio_floor = target * (1.0 - args.tolerance)
+    verdict = "ok" if ratio >= ratio_floor else "REGRESSION"
+    print(f"  store/serial ratio {ratio:.2f}x "
+          f"(floor {ratio_floor:.2f}x)  {verdict}")
+    if ratio < ratio_floor:
+        failures.append(
+            f"serial-with-store keeps only {ratio:.0%} of serial "
+            f"throughput, below the {ratio_floor:.0%} floor (ceiling "
+            f"{1 - target:.0%} overhead less tolerance): the columnar "
+            "sink has gotten too expensive"
+        )
 
     if failures:
         print(f"\nFAIL: {len(failures)} perf-gate violations")

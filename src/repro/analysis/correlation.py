@@ -97,13 +97,41 @@ def tag_correlation(
     For each alert of the rarer category, look for the nearest alert of
     the other within ±``window`` seconds.  This is the quantitative form
     of eyeballing Figure 3's two aligned scatter rows.
+
+    Accepts a materialized sequence or an
+    :class:`~repro.store.query.AlertQuery` — a query answers with two
+    single-partition column scans (predicate pushdown on the category
+    key) instead of a full pass.
     """
+    pushdown = getattr(alerts, "category_timestamps", None)
+    if callable(pushdown):
+        times_a = [float(t) for t in pushdown(category_a)]
+        times_b = [float(t) for t in pushdown(category_b)]
+        return tag_correlation_from_times(
+            category_a, category_b, times_a, times_b, window
+        )
     # Two passes are needed, so a one-shot generator would silently lose
     # the second category; demand a materialized sequence.
     if not isinstance(alerts, (list, tuple)):
-        raise TypeError("tag_correlation requires a list of alerts")
+        raise TypeError(
+            "tag_correlation requires a list of alerts or an AlertQuery"
+        )
     times_a = [a.timestamp for a in alerts if a.category == category_a]
     times_b = [a.timestamp for a in alerts if a.category == category_b]
+    return tag_correlation_from_times(
+        category_a, category_b, times_a, times_b, window
+    )
+
+
+def tag_correlation_from_times(
+    category_a: str,
+    category_b: str,
+    times_a: Sequence[float],
+    times_b: Sequence[float],
+    window: float = 300.0,
+) -> TagCorrelation:
+    """The :func:`tag_correlation` computation over pre-extracted
+    timestamp columns (what a chunked column scan hands over)."""
     if not times_a or not times_b:
         return TagCorrelation(category_a, category_b, len(times_a),
                               len(times_b), 0, 0.0, 0.0)
@@ -138,7 +166,8 @@ def correlation_matrix(
     window: float = 300.0,
 ) -> Dict[Tuple[str, str], TagCorrelation]:
     """Pairwise tag correlations over a category list (upper triangle)."""
-    alerts = list(alerts)
+    if not callable(getattr(alerts, "category_timestamps", None)):
+        alerts = list(alerts)
     out: Dict[Tuple[str, str], TagCorrelation] = {}
     for i, cat_a in enumerate(categories):
         for cat_b in categories[i + 1:]:

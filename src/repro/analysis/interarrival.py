@@ -20,9 +20,7 @@ import numpy as np
 from ..core.categories import Alert
 
 
-def interarrival_times(alerts: Iterable[Alert]) -> np.ndarray:
-    """Gaps (seconds) between consecutive alerts of a time-sorted stream."""
-    times = np.array([alert.timestamp for alert in alerts], dtype=float)
+def _gaps_from_times(times: np.ndarray) -> np.ndarray:
     if times.size < 2:
         return np.empty(0)
     gaps = np.diff(times)
@@ -31,10 +29,34 @@ def interarrival_times(alerts: Iterable[Alert]) -> np.ndarray:
     return gaps
 
 
+def interarrival_times(alerts: Iterable[Alert]) -> np.ndarray:
+    """Gaps (seconds) between consecutive alerts of a time-sorted stream.
+
+    Single pass over ``alerts`` — a generator is consumed exactly once.
+    An :class:`~repro.store.query.AlertQuery` takes the column fast
+    path: timestamps decode straight from column pages with no per-alert
+    objects.  Callers that need the pooled *and* the per-category gaps
+    from one non-restartable stream must use :func:`interarrival_series`
+    (calling this *and* :func:`interarrivals_by_category` on the same
+    generator would find it already exhausted).
+    """
+    fast = getattr(alerts, "timestamps", None)
+    if callable(fast):
+        times = np.asarray(fast(), dtype=float)
+    else:
+        times = np.array([alert.timestamp for alert in alerts], dtype=float)
+    return _gaps_from_times(times)
+
+
 def interarrivals_by_category(
     alerts: Iterable[Alert],
 ) -> Dict[str, np.ndarray]:
-    """Per-category gap arrays from one time-sorted stream."""
+    """Per-category gap arrays from one time-sorted stream.
+
+    Single pass, generator-safe; categories appear in first-appearance
+    (stream) order.  Only categories with at least two alerts — one gap
+    — are present.
+    """
     times: Dict[str, List[float]] = {}
     for alert in alerts:
         times.setdefault(alert.category, []).append(alert.timestamp)
@@ -43,6 +65,41 @@ def interarrivals_by_category(
         for category, series in times.items()
         if len(series) >= 2
     }
+
+
+@dataclass(frozen=True)
+class InterarrivalSeries:
+    """Pooled and per-category gaps computed from one stream pass."""
+
+    #: Gaps between consecutive alerts of the whole stream.
+    gaps: np.ndarray
+    #: Per-category gap arrays, categories in first-appearance order.
+    by_category: Dict[str, np.ndarray]
+
+
+def interarrival_series(alerts: Iterable[Alert]) -> InterarrivalSeries:
+    """Pooled *and* per-category interarrival gaps in one pass.
+
+    This is the generator-safe (and store-scan-safe) replacement for
+    calling :func:`interarrival_times` and
+    :func:`interarrivals_by_category` back to back on the same
+    iterable, which consumed it twice: here the stream is walked exactly
+    once, whether it is a list, a generator, or a columnar store scan,
+    and the two views are byte-identical to the historical two-call
+    results on a re-iterable input.
+    """
+    pooled: List[float] = []
+    per_category: Dict[str, List[float]] = {}
+    for alert in alerts:
+        pooled.append(alert.timestamp)
+        per_category.setdefault(alert.category, []).append(alert.timestamp)
+    gaps = _gaps_from_times(np.asarray(pooled, dtype=float))
+    by_category = {
+        category: np.diff(np.array(series))
+        for category, series in per_category.items()
+        if len(series) >= 2
+    }
+    return InterarrivalSeries(gaps=gaps, by_category=by_category)
 
 
 @dataclass(frozen=True)

@@ -80,12 +80,22 @@ def run_stream(
     state_dir: Optional[str] = None,
     state_token: str = "",
     predict=None,
+    store_dir: Optional[str] = None,
 ) -> PipelineResult:
     """Run the measurement/tag/filter pipeline over any record stream.
 
     Single pass: volume statistics, severity cross-tab, tagging, and
     filtering all happen as the stream flows through, so an arbitrarily
     large log needs constant memory beyond the alert lists.
+
+    With ``store_dir``, the alert lists go away too: every ruled-on
+    alert spills to a columnar store under that directory (see
+    :mod:`repro.store`), ``result.raw_alerts`` / ``filtered_alerts``
+    become lazy scan views, and the whole run — tables and figures
+    included — replays later via ``repro report`` without re-running
+    the pipeline.  Composes with ``state_dir``: the store commits at
+    every checkpoint barrier and a resumed run truncates back to the
+    checkpoint's watermark, so a partition is never double-written.
 
     With ``dead_letters`` attached the pipeline quarantines what it cannot
     process — malformed records, records that crash the tagger, alerts
@@ -157,6 +167,12 @@ def run_stream(
         elif checkpointer.store is None:
             checkpointer.store = store
 
+    store_writer = None
+    if store_dir is not None:
+        from .store import ColumnarStoreWriter
+
+        store_writer = ColumnarStoreWriter(store_dir, system)
+
     path = AlertPath(
         system,
         threshold=threshold,
@@ -164,6 +180,7 @@ def run_stream(
         reorder_tolerance=reorder_tolerance,
         resume_from=resume_from,
         prediction=_prediction_stage(predict, reorder_tolerance),
+        store_writer=store_writer,
     )
     source = iter(records)
     if resume_from is not None:
@@ -180,6 +197,13 @@ def run_stream(
         overload=report.overload,
         checkpoints=checkpointer,
     )
+    if store_writer is not None:
+        from .store import run_summary
+
+        # Persist the non-alert halves and mark the store complete, then
+        # refresh the result's reader so it sees the finalized manifest.
+        store_writer.finalize(run_summary(result))
+        result.store = store_writer.reader()
     if store is not None:
         # A clean finish marks the durable state consumed: re-running
         # the same configuration starts a fresh run instead of resuming
@@ -265,6 +289,7 @@ def run_system(
     parallel: Optional[ParallelConfig] = None,
     state_dir: Optional[str] = None,
     predict=None,
+    store_dir: Optional[str] = None,
     **generator_kwargs,
 ) -> PipelineResult:
     """Generate one machine's log and run the full pipeline over it.
@@ -306,7 +331,14 @@ def run_system(
         token = _state_token(
             system=system, scale=scale, seed=seed, threshold=threshold,
             incident_scale=incident_scale, predict=_predict_token(predict),
+            store="on" if store_dir is not None else "off",
             **generator_kwargs,
+        )
+    if store_dir is not None and (faults is not None or supervised):
+        raise ValueError(
+            "store_dir does not compose with supervised runs yet: the "
+            "supervisor restarts runs internally and would re-open the "
+            "store mid-flight"
         )
     if faults is not None or supervised:
         from .resilience.supervisor import PipelineSupervisor
@@ -346,7 +378,7 @@ def run_system(
         generated.records, system, threshold=threshold, generated=generated,
         checkpointer=checkpointer, backpressure=backpressure,
         parallel=parallel, state_dir=state_dir, state_token=token,
-        predict=predict,
+        predict=predict, store_dir=store_dir,
     )
 
 
@@ -362,6 +394,7 @@ def run_all(
     parallel: Optional[ParallelConfig] = None,
     state_dir: Optional[str] = None,
     predict=None,
+    store_dir: Optional[str] = None,
     **generator_kwargs,
 ) -> Dict[str, PipelineResult]:
     """Run the pipeline for all five machines (Table 2's full study).
@@ -389,6 +422,10 @@ def run_all(
                 else None
             ),
             predict=predict,
+            store_dir=(
+                os.path.join(store_dir, name) if store_dir is not None
+                else None
+            ),
             **generator_kwargs,
         )
         for name in SYSTEMS

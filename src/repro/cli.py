@@ -5,6 +5,8 @@ Commands mirror the workflows a downstream adopter needs:
 * ``generate`` — write a synthetic machine log in its native format;
 * ``analyze``  — run the tagging/filtering pipeline over a log file;
 * ``study``    — the whole paper: all five systems, Tables 1-6;
+* ``report``   — replay tables and figures from a ``--store-dir`` alert
+  store without rerunning any pipeline;
 * ``anonymize`` — pseudonymize a log for release (Section 3.2.1);
 * ``mine``     — mine frequent message templates (Vaarandi-style) and
   propose candidate alert rules.
@@ -13,6 +15,7 @@ Commands mirror the workflows a downstream adopter needs:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -122,6 +125,10 @@ def cmd_study(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.store_dir and faults is not None:
+        print("error: --store-dir does not compose with --faults "
+              "(supervised restarts) yet", file=sys.stderr)
+        return 2
     results = {}
     for system in SYSTEM_CHOICES:
         scale = args.scale * (100 if system == "bgl" else 1)
@@ -133,6 +140,10 @@ def cmd_study(args: argparse.Namespace) -> int:
             parallel=parallel,
             state_dir=(
                 f"{args.state_dir}/{system}" if args.state_dir else None
+            ),
+            store_dir=(
+                os.path.join(args.store_dir, system)
+                if args.store_dir else None
             ),
             predict=args.predict or None,
         )
@@ -163,7 +174,64 @@ def cmd_study(args: argparse.Namespace) -> int:
             for pred_line in result.prediction.summary_lines():
                 print(f"#   {pred_line}", file=sys.stderr)
     print(tables.all_tables(results))
+    if args.store_dir:
+        print(f"# alert stores written under {args.store_dir}; replay "
+              f"with: repro report {args.store_dir}", file=sys.stderr)
     return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .reporting import figures
+    from .store import StoreError, is_store_dir, load_result
+
+    root = args.store_dir
+    if not os.path.isdir(root):
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    if is_store_dir(root):
+        candidates = [root]
+    else:
+        # Study layout: one store per system subdirectory.
+        candidates = [
+            path
+            for name in sorted(os.listdir(root))
+            if is_store_dir(path := os.path.join(root, name))
+        ]
+    if not candidates:
+        print(f"error: no alert store under {root} (expected a MANIFEST "
+              "at the top level or in system subdirectories; write one "
+              "with `repro study --store-dir ...`)", file=sys.stderr)
+        return 2
+    results = {}
+    trouble = False
+    for path in candidates:
+        try:
+            result = load_result(path)
+        except StoreError as exc:
+            print(f"# {path}: unreadable store: {exc}", file=sys.stderr)
+            trouble = True
+            continue
+        results[result.system] = result
+        print(f"# {result.system}: {result.message_count:,} messages, "
+              f"{result.raw_alert_count:,} alerts (replayed from {path})",
+              file=sys.stderr)
+    if not results:
+        return 2
+    print(tables.all_tables(results))
+    figure_text = figures.all_figures(results)
+    if figure_text:
+        print()
+        print(figure_text)
+    # Scans record partitions they had to drop (CRC mismatch, torn
+    # frame); surface those after the render they degraded.
+    for system, result in results.items():
+        issues = result.store.degraded
+        if issues:
+            trouble = True
+            print(f"# {system}: {len(issues)} degraded partitions "
+                  f"(data dropped): {'; '.join(issues[:3])}",
+                  file=sys.stderr)
+    return 1 if trouble else 0
 
 
 def cmd_anonymize(args: argparse.Namespace) -> int:
@@ -224,6 +292,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         idle_ttl=args.idle_ttl,
         drain_timeout=args.drain_timeout,
         state_dir=args.state_dir,
+        store_dir=args.store_dir,
         checkpoint_every=args.checkpoint_every,
         predict=args.predict or None,
     )
@@ -353,8 +422,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="on sustained overload, degrade gracefully: "
                               "coarser stats and a larger filter threshold "
                               "instead of unbounded queue growth")
+    p_study.add_argument("--store-dir", default=None,
+                         help="spill every system's alerts to a columnar "
+                              "store under this directory (one "
+                              "subdirectory per system); analytics stream "
+                              "from disk in bounded memory and "
+                              "`repro report <dir>` replays every table "
+                              "and figure later without rerunning the "
+                              "pipeline")
     _add_parallel_args(p_study)
     p_study.set_defaults(func=cmd_study)
+
+    p_report = sub.add_parser(
+        "report",
+        help="replay tables and figures from an alert store directory",
+        description="Render Tables 1-6 and the alert-only figures from "
+                    "a store written by `study --store-dir` (or any "
+                    "api.run_* call with store_dir=...), without "
+                    "regenerating or re-analyzing any log.",
+    )
+    p_report.add_argument("store_dir",
+                          help="a single store (MANIFEST at the top "
+                               "level) or a study layout (one store per "
+                               "system subdirectory)")
+    p_report.set_defaults(func=cmd_report)
 
     p_anon = sub.add_parser(
         "anonymize", help="pseudonymize a log for release"
@@ -414,6 +505,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "resumes every tenant from it")
     p_serve.add_argument("--checkpoint-every", type=int, default=2000,
                          help="records between durable tenant snapshots")
+    p_serve.add_argument("--store-dir", default=None,
+                         help="tee every tenant's alerts into a columnar "
+                              "store under this directory (one store per "
+                              "tenant), committed at checkpoint barriers; "
+                              "analytics then run out-of-core over alerts "
+                              "the in-memory tail has long dropped")
     p_serve.add_argument("--predict", action="store_true",
                          help="per-tenant online prediction: every tenant "
                               "runs the streaming correlation miner + "

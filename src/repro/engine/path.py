@@ -96,6 +96,7 @@ class AlertPath:
         resume_from: Optional[PipelineCheckpoint] = None,
         tagger: Optional[Tagger] = None,
         prediction: Optional[object] = None,
+        store_writer: Optional[object] = None,
     ):
         self.system = system
         self.threshold = threshold
@@ -107,6 +108,12 @@ class AlertPath:
         #: the sink is wrapped so the stage observes every ruled-on
         #: alert, and its state rides the checkpoint wire.
         self.prediction = prediction
+        #: Optional columnar store writer (duck-typed:
+        #: :class:`repro.store.columnar.ColumnarStoreWriter`); when
+        #: present the sink spills every ruled-on alert to disk instead
+        #: of keeping Python lists, and the committed sequence watermark
+        #: rides the checkpoint as ``store_state``.
+        self.store_writer = store_writer
 
         if resume_from is not None:
             if resume_from.system != system:
@@ -146,7 +153,30 @@ class AlertPath:
             self.corrupted = 0
             self.consumed = 0
             self.resumed_shed_state = None
-        self.sink = AlertListSink(self.report, raw, filtered)
+        if store_writer is not None:
+            from ..store.sink import ColumnarSink
+
+            resume_seq = 0
+            if resume_from is not None:
+                # getattr: checkpoints pickled before the field existed.
+                state = getattr(resume_from, "store_state", None)
+                if state is None:
+                    raise ValueError(
+                        "checkpoint was taken without a columnar store; "
+                        "resume it without store_dir"
+                    )
+                resume_seq = state["seq"]
+            store_writer.begin(resume_seq)
+            self.sink = ColumnarSink(self.report, store_writer)
+        else:
+            if resume_from is not None and getattr(
+                resume_from, "store_state", None
+            ) is not None:
+                raise ValueError(
+                    "checkpoint was taken with a columnar store; "
+                    "resume it with the same store_dir"
+                )
+            self.sink = AlertListSink(self.report, raw, filtered)
         if prediction is not None:
             self.sink = ObservingSink(self.sink, prediction)
 
@@ -355,7 +385,21 @@ class AlertPath:
         Drivers must only call this when every consumed record is fully
         accounted for (processed, quarantined, or shed) — the serial
         driver trivially always is; batch/queue drivers call it at their
-        barriers."""
+        barriers.
+
+        A store-backed path commits the writer here, so every checkpoint
+        is also a store commit barrier: the checkpoint's ``store_state``
+        watermark never lands inside a committed page, which is what
+        makes resume truncation page-granular.  The alert tuples travel
+        empty in that mode — the column files are the durable copy."""
+        if self.store_writer is not None:
+            store_state = {"seq": self.store_writer.commit()}
+            raw_alerts: tuple = ()
+            filtered_alerts: tuple = ()
+        else:
+            store_state = None
+            raw_alerts = tuple(self.sink.raw_alerts)
+            filtered_alerts = tuple(self.sink.filtered_alerts)
         return PipelineCheckpoint(
             system=self.system,
             threshold=self.threshold,
@@ -364,8 +408,8 @@ class AlertPath:
             filter_state=self.filter.state_dict(),
             report=copy_report(self.report),
             severity=copy_severity(self.severity_tab),
-            raw_alerts=tuple(self.sink.raw_alerts),
-            filtered_alerts=tuple(self.sink.filtered_alerts),
+            raw_alerts=raw_alerts,
+            filtered_alerts=filtered_alerts,
             corrupted_messages=self.corrupted,
             dead_letters=(
                 self.dead_letters.snapshot() if self.dead_letters else None
@@ -376,6 +420,7 @@ class AlertPath:
                 if self.prediction is not None
                 else None
             ),
+            store_state=store_state,
         )
 
     # -- finishing ---------------------------------------------------------
@@ -387,6 +432,9 @@ class AlertPath:
         if self.prediction is not None and "prediction" not in extras:
             self.prediction.finish()
             extras["prediction"] = self.prediction.report()
+        if self.store_writer is not None:
+            self.store_writer.commit()
+            extras.setdefault("store", self.store_writer.reader())
         return PipelineResult(
             system=self.system,
             stats=self.stats_collector.finish(),

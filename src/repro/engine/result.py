@@ -24,6 +24,8 @@ from ..resilience.deadletter import DeadLetterQueue, DeadLetterSnapshot
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..resilience.checkpoint import CheckpointManager
     from ..simulation.generator import GeneratedLog
+    from ..store.columnar import ColumnarStore
+    from ..store.query import AlertQuery
     from ..streaming.stage import PredictionReport
 
 
@@ -61,6 +63,35 @@ class PipelineResult:
     #: when the run was started with ``predict=`` — see
     #: :class:`repro.streaming.stage.PredictionReport`.
     prediction: Optional["PredictionReport"] = None
+    #: The spilled columnar store this run wrote, when started with
+    #: ``store_dir=``.  ``raw_alerts`` / ``filtered_alerts`` are then
+    #: lazy scan views over it rather than lists, and :attr:`alerts`
+    #: queries it with partition pushdown.  ``None`` for in-memory runs
+    #: — :attr:`alerts` still works, backed by the lists.
+    store: Optional["ColumnarStore"] = None
+    #: Cached in-memory store backend for :attr:`alerts` on list-backed
+    #: results (built on first use; never part of equality/repr).
+    _alert_store: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def alerts(self) -> "AlertQuery":
+        """The single analytics access path: a re-iterable, narrowable
+        :class:`~repro.store.query.AlertQuery` over this run's alerts —
+        partition/column pushdown when the run spilled to disk, a thin
+        view over the in-memory lists otherwise."""
+        from ..store.query import AlertQuery
+
+        if self.store is not None:
+            return AlertQuery(self.store)
+        if self._alert_store is None:
+            from ..store.memory import MemoryAlertStore
+
+            self._alert_store = MemoryAlertStore.from_lists(
+                self.system, self.raw_alerts, self.filtered_alerts
+            )
+        return AlertQuery(self._alert_store)
 
     @property
     def message_count(self) -> int:
@@ -76,6 +107,8 @@ class PipelineResult:
 
     @property
     def observed_categories(self) -> int:
+        if self.store is not None:
+            return len(self.store.categories())
         return len({alert.category for alert in self.raw_alerts})
 
     @property
@@ -85,6 +118,11 @@ class PipelineResult:
     def category_counts(self) -> Dict[str, List[int]]:
         """Per-category [raw, filtered] counts (the Table 4 columns)."""
         return dict(self.filter_report.by_category)
+
+    def alert_type_counts(self) -> Dict[object, tuple]:
+        """``{AlertType: (raw, kept)}`` — the Table 3 cells.  A manifest
+        pushdown on spilled runs; a single list pass otherwise."""
+        return self.alerts.count_by_type()
 
     def summary(self) -> str:
         """A Table 2-style one-machine summary."""

@@ -21,6 +21,7 @@ from .tables import (
 )
 from .report import system_report
 from .figures import (
+    all_figures,
     figure1,
     figure2a,
     figure2b,
@@ -40,6 +41,7 @@ __all__ = [
     "render_table",
     "sparkline",
     "SYSTEM_ORDER",
+    "all_figures",
     "all_tables",
     "table1",
     "table2",

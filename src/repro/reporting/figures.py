@@ -9,12 +9,19 @@ display is exactly what the benches assert shape properties on.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis.correlation import tag_correlation
+import numpy as np
+
+from ..analysis.correlation import tag_correlation_from_times
 from ..analysis.distributions import compare_models, empirical_cdf
-from ..analysis.interarrival import LogHistogram, interarrival_times, log_histogram
+from ..analysis.interarrival import (
+    LogHistogram,
+    interarrival_times,
+    log_histogram,
+)
 from ..analysis.phases import PhaseShift, detect_phase_shifts
 from ..analysis.timeseries import (
     RateSeries,
@@ -122,15 +129,41 @@ def figure3(
     category_b: str = "GM_LANAI",
     window: float = 300.0,
 ) -> str:
-    """Figure 3: two correlated alert classes on a shared time axis."""
-    alerts = list(alerts)
-    if not alerts:
-        return "Figure 3. (no alerts)"
-    t0 = min(a.timestamp for a in alerts)
-    t1 = max(a.timestamp for a in alerts)
-    times_a = [a.timestamp for a in alerts if a.category == category_a]
-    times_b = [a.timestamp for a in alerts if a.category == category_b]
-    corr = tag_correlation(alerts, category_a, category_b, window=window)
+    """Figure 3: two correlated alert classes on a shared time axis.
+
+    On an :class:`~repro.store.query.AlertQuery` (or a stored view) the
+    bounds come from partition metadata and the two category series from
+    single-partition column scans; otherwise one streaming pass extracts
+    the two timestamp columns without materializing the alerts.
+    """
+    query = (
+        alerts
+        if callable(getattr(alerts, "category_timestamps", None))
+        else getattr(alerts, "query", None)
+    )
+    if query is not None:
+        bounds = query.time_bounds()
+        if bounds is None:
+            return "Figure 3. (no alerts)"
+        t0, t1 = bounds
+        times_a = [float(t) for t in query.category_timestamps(category_a)]
+        times_b = [float(t) for t in query.category_timestamps(category_b)]
+    else:
+        times_a, times_b = [], []
+        t0, t1 = math.inf, -math.inf
+        for alert in alerts:
+            ts = alert.timestamp
+            t0 = ts if ts < t0 else t0
+            t1 = ts if ts > t1 else t1
+            if alert.category == category_a:
+                times_a.append(ts)
+            elif alert.category == category_b:
+                times_b.append(ts)
+        if t1 < t0:
+            return "Figure 3. (no alerts)"
+    corr = tag_correlation_from_times(
+        category_a, category_b, times_a, times_b, window=window
+    )
     label_width = max(len(category_a), len(category_b))
     lines = [
         f"Figure 3. {category_a} vs {category_b} over time",
@@ -150,15 +183,24 @@ def figure4(
     t0: Optional[float] = None,
     t1: Optional[float] = None,
 ) -> str:
-    """Figure 4: categorized filtered alerts over time, one row per tag."""
-    alerts = list(filtered_alerts)
-    if not alerts:
-        return "Figure 4. (no alerts)"
-    lo = t0 if t0 is not None else min(a.timestamp for a in alerts)
-    hi = t1 if t1 is not None else max(a.timestamp for a in alerts)
+    """Figure 4: categorized filtered alerts over time, one row per tag.
+
+    Single pass over ``filtered_alerts`` — a list, a generator, or a
+    columnar store scan — keeping only the timestamp columns.  Row order
+    is by descending count with ties broken by first appearance in the
+    stream, identical between the in-memory and spilled paths.
+    """
     by_category: Dict[str, List[float]] = {}
-    for alert in alerts:
-        by_category.setdefault(alert.category, []).append(alert.timestamp)
+    lo_seen, hi_seen = math.inf, -math.inf
+    for alert in filtered_alerts:
+        ts = alert.timestamp
+        by_category.setdefault(alert.category, []).append(ts)
+        lo_seen = ts if ts < lo_seen else lo_seen
+        hi_seen = ts if ts > hi_seen else hi_seen
+    if not by_category:
+        return "Figure 4. (no alerts)"
+    lo = t0 if t0 is not None else lo_seen
+    hi = t1 if t1 is not None else hi_seen
     order = sorted(by_category, key=lambda c: -len(by_category[c]))
     label_width = max(len(c) for c in order)
     lines = [
@@ -182,8 +224,14 @@ def figure5(ecc_alerts: Sequence[Alert]) -> str:
     model comparison: ECC should look exponential-ish/lognormal-ish where
     other categories do not.
     """
-    alerts = sorted(ecc_alerts, key=lambda a: a.timestamp)
-    gaps = interarrival_times(alerts)
+    fast = getattr(ecc_alerts, "timestamps", None)
+    if callable(fast):
+        times = np.sort(np.asarray(fast(), dtype=float))
+    else:
+        times = np.sort(
+            np.asarray([a.timestamp for a in ecc_alerts], dtype=float)
+        )
+    gaps = np.diff(times) if times.size >= 2 else np.empty(0)
     lines = [
         "Figure 5. ECC alert interarrival distribution",
         "=============================================",
@@ -245,4 +293,38 @@ def liberty_figures(result, records=None) -> str:
         sections.append(figure2b(messages_by_source(records)))
     sections.append(figure3(result.raw_alerts))
     sections.append(figure4(result.filtered_alerts))
+    return "\n\n".join(sections)
+
+
+def all_figures(results: Dict[str, object]) -> str:
+    """Figures 3-6 from pipeline results alone (no record stream).
+
+    Figures 1 and 2 need the raw message stream or the operational
+    timeline, which neither a result nor an alert store retains; this
+    renders every figure that replays from the alerts themselves, so it
+    works identically on live results and on results loaded back from a
+    spilled store directory (``repro report``).
+    """
+    sections: List[str] = []
+    if "liberty" in results:
+        sections.append(figure3(results["liberty"].raw_alerts))
+        sections.append(figure4(results["liberty"].filtered_alerts))
+    if "thunderbird" in results:
+        ecc = results["thunderbird"].alerts.filtered().where("ECC")
+        sections.append(figure5(ecc))
+    hist_systems = [s for s in ("bgl", "spirit") if s in results]
+    if hist_systems:
+        sections.append(
+            figure6(
+                {
+                    system: log_histogram(
+                        interarrival_times(
+                            results[system].alerts.filtered()
+                        ),
+                        bins_per_decade=2,
+                    )
+                    for system in hist_systems
+                }
+            )
+        )
     return "\n\n".join(sections)

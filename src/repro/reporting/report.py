@@ -11,8 +11,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..analysis.interarrival import (
-    interarrival_times,
-    interarrivals_by_category,
+    interarrival_series,
     log_histogram,
     summary_statistics,
 )
@@ -88,7 +87,10 @@ def _attribution_section(result: PipelineResult) -> str:
 def _interarrival_section(result: PipelineResult) -> str:
     lines = ["Interarrival characterization (filtered alerts)",
              "==============================================="]
-    pooled = interarrival_times(result.filtered_alerts)
+    # One pass over the filtered alerts — whether they are a list or a
+    # columnar store scan — yields both the pooled and per-category gaps.
+    series = interarrival_series(result.filtered_alerts)
+    pooled = series.gaps
     if pooled.size >= 2:
         hist = log_histogram(pooled, bins_per_decade=2)
         stats = summary_statistics(pooled)
@@ -97,9 +99,7 @@ def _interarrival_section(result: PipelineResult) -> str:
             f"cv={stats['cv']:.2f} modes={hist.mode_count()} "
             f"bimodal={hist.is_bimodal()}"
         )
-    for category, gaps in sorted(
-        interarrivals_by_category(result.filtered_alerts).items()
-    ):
+    for category, gaps in sorted(series.by_category.items()):
         if gaps.size < 5:
             continue
         stats = summary_statistics(gaps)

@@ -97,10 +97,12 @@ def table3(results: Dict[str, PipelineResult]) -> str:
     raw: Dict[AlertType, int] = {t: 0 for t in _TYPE_ORDER}
     filtered: Dict[AlertType, int] = {t: 0 for t in _TYPE_ORDER}
     for result in results.values():
-        for alert in result.raw_alerts:
-            raw[alert.alert_type] += 1
-        for alert in result.filtered_alerts:
-            filtered[alert.alert_type] += 1
+        # Aggregate pushdown: on a spilled run this reads partition
+        # metadata; on an in-memory run it is one pass over the lists.
+        for alert_type, (raw_count, kept_count) in \
+                result.alert_type_counts().items():
+            raw[alert_type] += raw_count
+            filtered[alert_type] += kept_count
     raw_total = sum(raw.values()) or 1
     filtered_total = sum(filtered.values()) or 1
     rows = []

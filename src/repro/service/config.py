@@ -69,6 +69,14 @@ class ServiceConfig:
     #: write-ahead journaled, so a SIGKILLed service resumes its tenants
     #: on restart (see :mod:`repro.service.persistence`).
     state_dir: Optional[str] = None
+    #: Directory for per-tenant columnar alert stores (``None`` = off).
+    #: Every tenant tees its alert flow into
+    #: ``<store_dir>/<tenant_dirname(id)>`` — the same spill-to-disk
+    #: column format ``repro study --store-dir`` writes — committed at
+    #: checkpoint/park/drain barriers, so tenant analytics can run
+    #: out-of-core over weeks of alerts the ``alert_tail`` ring long
+    #: since dropped.
+    store_dir: Optional[str] = None
 
     # -- lifecycle --------------------------------------------------------
     idle_ttl: float = 300.0    #: seconds of quiet before eviction

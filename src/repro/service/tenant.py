@@ -25,6 +25,7 @@ silently.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -169,6 +170,21 @@ class Tenant:
         self.counters = parked.counters if parked is not None else (
             TenantCounters()
         )
+        #: Per-tenant columnar alert store (``config.store_dir``): the
+        #: alert flow is teed into it and committed at the same barriers
+        #: as tenant checkpoints.  ``begin(None)`` is journal-resume
+        #: mode — a resurrected or unparked tenant appends after
+        #: whatever its manifest committed.
+        self._store_writer = None
+        if config.store_dir:
+            from ..store import ColumnarStoreWriter
+            from .persistence import tenant_dirname
+
+            self._store_writer = ColumnarStoreWriter(
+                os.path.join(config.store_dir, tenant_dirname(tenant_id)),
+                system,
+            )
+            self._store_writer.begin(None)
         # AlertPath(resume_from=...) restores the dead-letter queue from
         # the checkpoint; for a parked tenant that snapshot *is* the live
         # state (taken at park time with the queue drained), so this is
@@ -259,6 +275,13 @@ class Tenant:
             # path.sink above dropped the ObservingSink wrapper AlertPath
             # installed.  The service sink stays the counting authority.
             self.path.sink = ObservingSink(self._sink, self.path.prediction)
+        if self._store_writer is not None:
+            from ..store import StoreTeeSink
+
+            # Outermost so every emit the service counts also lands a
+            # column row; path rebuilds never roll the store back (it is
+            # append-only, like the journaled counts).
+            self.path.sink = StoreTeeSink(self.path.sink, self._store_writer)
 
     def start(self) -> None:
         """Spawn the worker task on the running loop."""
@@ -445,6 +468,10 @@ class Tenant:
             self._take_checkpoint()
 
     def _take_checkpoint(self) -> None:
+        if self._store_writer is not None:
+            # Commit before the checkpoint lands so the store's manifest
+            # seq is never behind any durable snapshot.
+            self._store_writer.commit()
         self.checkpoint = self.path.snapshot(
             shed_state=self.policy.state_dict()
         )
@@ -485,6 +512,8 @@ class Tenant:
     def park(self) -> ParkedTenant:
         """Checkpoint handoff: capture complete resumable state and stop
         the worker.  Caller must have checked :meth:`evictable`."""
+        if self._store_writer is not None:
+            self._store_writer.commit()
         checkpoint = self.path.snapshot(shed_state=self.policy.state_dict())
         if self._task is not None:
             self._task.cancel()
@@ -509,6 +538,10 @@ class Tenant:
         if self._task is not None:
             await self._task
             self._task = None
+        if self._store_writer is not None:
+            # Drain is terminal: land everything buffered and mark the
+            # manifest complete so offline analytics trust the store.
+            self._store_writer.finalize()
 
     def note_sample(self, now: float) -> None:
         self.samples.append((now, self.counters.processed))
@@ -545,6 +578,11 @@ class Tenant:
             "throughput": round(self.throughput(), 1),
             "conserves": self.counters.conserves(len(self.queue)),
         })
+        if self._store_writer is not None:
+            row["store"] = {
+                "dir": self._store_writer.root,
+                "seq": self._store_writer.seq,
+            }
         prediction = self.path.prediction
         if prediction is not None:
             row["prediction"] = {

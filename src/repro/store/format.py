@@ -1,0 +1,212 @@
+"""On-disk layout of the columnar alert store.
+
+One store holds one system's alerts, partitioned by ``(category, hour)``
+— the two keys every Section 4/5 analysis pushes predicates down on —
+with each partition a single append-only column file::
+
+    <store>/
+      MANIFEST                  # wire-framed dict: committed partitions
+      SUMMARY                   # wire-framed run summary (at finalize)
+      parts/<category>/<hour>.col
+
+A ``.col`` file is the PR 8 durable-file shape: the 6-byte
+:func:`repro.resilience.wire.file_header` followed by CRC32 frames
+(:func:`~repro.resilience.wire.encode_frame`), one frame per *column
+page*.  A page is a struct-packed batch of up to :data:`PAGE_ROWS`
+alerts — sequence numbers, timestamps, kept flags, and dictionary-coded
+source/severity columns — so a scan decodes one page at a time and
+never materializes a partition.  Torn tails and bit-rot therefore
+degrade exactly like the WAL does: the CRC walk stops at the first
+untrustworthy byte and everything before it stays readable.
+
+Pages never straddle a commit barrier (the writer seals every open page
+at :meth:`~repro.store.columnar.ColumnarStoreWriter.commit`), which is
+what makes checkpoint resume page-granular: every committed page lies
+entirely on one side of any checkpoint watermark, so truncation never
+has to split a frame.
+"""
+
+from __future__ import annotations
+
+import struct
+import urllib.parse
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Magic for column files and the store summary; the manifest rides the
+#: shared :data:`~repro.resilience.wire.CHECKPOINT_MAGIC` manifest codec.
+COLUMN_MAGIC = b"RCOL"
+
+#: Rows per sealed column page.  Small enough that a one-page decode is
+#: a bounded allocation, large enough that the frame/dict overhead
+#: amortizes to ~1 byte/row.
+PAGE_ROWS = 4096
+
+#: Seconds per partition bucket (the paper's Figure 2(a) hour).
+PARTITION_SECONDS = 3600
+
+MANIFEST_NAME = "MANIFEST"
+SUMMARY_NAME = "SUMMARY"
+PARTS_DIR = "parts"
+
+#: Manifest format version for the store's own schema evolution.
+STORE_FORMAT = 1
+
+_PAGE_HEADER = struct.Struct("<IQ")  # rows, first_seq
+_DICT_LEN = struct.Struct("<H")
+
+
+class StoreFormatError(ValueError):
+    """A page or manifest that violates the store's own schema."""
+
+
+def partition_hour(timestamp: float) -> int:
+    """The hour bucket a timestamp lands in (floor division, so the
+    sub-second reorder tolerance can step a partition backwards)."""
+    return int(timestamp // PARTITION_SECONDS)
+
+
+def partition_relpath(category: str, hour: int) -> str:
+    """Filesystem-safe relative path for a partition's column file.
+    Category names are URL-quoted the same way tenant ids are, so a
+    hostile tag cannot escape the store directory."""
+    name = urllib.parse.quote(category, safe="")
+    if name.startswith("."):
+        name = "%2E" + name[1:]
+    return f"{PARTS_DIR}/{name}/{hour}.col"
+
+
+def _pack_dict(entries: List[str]) -> bytes:
+    out = [_DICT_LEN.pack(len(entries))]
+    for entry in entries:
+        raw = entry.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise StoreFormatError("dictionary entry longer than 64 KiB")
+        out.append(_DICT_LEN.pack(len(raw)))
+        out.append(raw)
+    return b"".join(out)
+
+
+def _unpack_dict(data: bytes, offset: int) -> Tuple[List[str], int]:
+    (count,) = _DICT_LEN.unpack_from(data, offset)
+    offset += _DICT_LEN.size
+    entries: List[str] = []
+    for _ in range(count):
+        (length,) = _DICT_LEN.unpack_from(data, offset)
+        offset += _DICT_LEN.size
+        entries.append(data[offset:offset + length].decode("utf-8"))
+        offset += length
+    return entries, offset
+
+
+def encode_page(
+    first_seq: int,
+    seq_offsets: "np.ndarray",
+    timestamps: "np.ndarray",
+    kept: "np.ndarray",
+    source_ids: "np.ndarray",
+    severity_ids: "np.ndarray",
+    source_dict: List[str],
+    severity_dict: List[str],
+) -> bytes:
+    """Pack one column page (the payload of one CRC frame).
+
+    ``severity_ids`` index ``severity_dict`` shifted by one: id 0 is the
+    reserved "no severity" value, so systems without severity labels pay
+    one byte per row and an empty dictionary.
+    """
+    n = len(timestamps)
+    if not (len(seq_offsets) == len(kept) == len(source_ids)
+            == len(severity_ids) == n):
+        raise StoreFormatError("column lengths disagree")
+    if len(severity_dict) > 0xFFFE:
+        raise StoreFormatError("too many distinct severities in one page")
+    return b"".join((
+        _PAGE_HEADER.pack(n, first_seq),
+        np.ascontiguousarray(seq_offsets, dtype=np.uint32).tobytes(),
+        np.ascontiguousarray(timestamps, dtype=np.float64).tobytes(),
+        np.ascontiguousarray(kept, dtype=np.uint8).tobytes(),
+        np.ascontiguousarray(source_ids, dtype=np.uint16).tobytes(),
+        np.ascontiguousarray(severity_ids, dtype=np.uint16).tobytes(),
+        _pack_dict(source_dict),
+        _pack_dict(severity_dict),
+    ))
+
+
+class PageColumns:
+    """One decoded column page: parallel numpy columns plus the
+    dictionaries needed to resolve source/severity ids to strings."""
+
+    __slots__ = ("first_seq", "seqs", "timestamps", "kept",
+                 "source_ids", "severity_ids", "sources", "severities")
+
+    def __init__(self, first_seq, seqs, timestamps, kept, source_ids,
+                 severity_ids, sources, severities):
+        self.first_seq = first_seq
+        self.seqs = seqs
+        self.timestamps = timestamps
+        self.kept = kept
+        self.source_ids = source_ids
+        self.severity_ids = severity_ids
+        self.sources = sources
+        self.severities = severities
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def last_seq(self) -> int:
+        return int(self.seqs[-1]) if len(self.seqs) else self.first_seq
+
+    def source_at(self, i: int) -> str:
+        return self.sources[self.source_ids[i]]
+
+    def severity_at(self, i: int) -> Optional[str]:
+        sid = self.severity_ids[i]
+        return None if sid == 0 else self.severities[sid - 1]
+
+
+def decode_page(payload: bytes) -> PageColumns:
+    """Unpack one page frame payload back into columns."""
+    if len(payload) < _PAGE_HEADER.size:
+        raise StoreFormatError("page shorter than its header")
+    n, first_seq = _PAGE_HEADER.unpack_from(payload)
+    offset = _PAGE_HEADER.size
+    need = n * (4 + 8 + 1 + 2 + 2)
+    if len(payload) - offset < need:
+        raise StoreFormatError(
+            f"page claims {n} rows but holds {len(payload) - offset} "
+            f"column bytes (need {need})"
+        )
+
+    def column(dtype, size):
+        nonlocal offset
+        arr = np.frombuffer(payload, dtype=dtype, count=n, offset=offset)
+        offset += n * size
+        return arr
+
+    seq_offsets = column(np.uint32, 4)
+    timestamps = column(np.float64, 8)
+    kept = column(np.uint8, 1)
+    source_ids = column(np.uint16, 2)
+    severity_ids = column(np.uint16, 2)
+    try:
+        sources, offset = _unpack_dict(payload, offset)
+        severities, offset = _unpack_dict(payload, offset)
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise StoreFormatError(f"undecodable page dictionary: {exc!r}")
+    if source_ids.size and sources and int(source_ids.max()) >= len(sources):
+        raise StoreFormatError("source id beyond page dictionary")
+    if severity_ids.size and int(severity_ids.max()) > len(severities):
+        raise StoreFormatError("severity id beyond page dictionary")
+    return PageColumns(
+        first_seq=first_seq,
+        seqs=first_seq + seq_offsets.astype(np.uint64),
+        timestamps=timestamps,
+        kept=kept,
+        source_ids=source_ids,
+        severity_ids=severity_ids,
+        sources=sources,
+        severities=severities,
+    )

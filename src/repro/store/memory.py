@@ -1,0 +1,129 @@
+"""In-memory twin of the columnar store.
+
+Every analytics consumer goes through :class:`~repro.store.query.AlertQuery`;
+this class is the backend for results that never spilled — it wraps the
+``PipelineResult`` raw/filtered lists behind the same scan/aggregate
+surface as :class:`~repro.store.columnar.ColumnarStore`, which is what
+makes "byte-identical with or without a store" a testable contract
+instead of a convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.categories import Alert, AlertType
+
+
+class MemoryAlertStore:
+    """Alert lists presented through the store scan/aggregate interface."""
+
+    complete = True
+
+    def __init__(self, system: str, alerts: Sequence[Alert],
+                 kept_flags: Sequence[bool]) -> None:
+        if len(alerts) != len(kept_flags):
+            raise ValueError("alerts and kept flags disagree in length")
+        self.system = system
+        self._alerts = list(alerts)
+        self._kept = list(kept_flags)
+        self.degraded: List[str] = []
+
+    @classmethod
+    def from_lists(cls, system: str, raw: Sequence[Alert],
+                   filtered: Sequence[Alert]) -> "MemoryAlertStore":
+        """Build from a result's raw/filtered pair.
+
+        ``filtered`` is an in-order subsequence of ``raw`` (the filter
+        only drops), so a greedy one-pass walk recovers the kept flag:
+        identity first (same objects within one run), equality as the
+        fallback for reconstructed lists.
+        """
+        raw = list(raw)
+        filtered = list(filtered)
+        kept_flags = [False] * len(raw)
+        j = 0
+        for i, alert in enumerate(raw):
+            if j < len(filtered) and (filtered[j] is alert
+                                      or filtered[j] == alert):
+                kept_flags[i] = True
+                j += 1
+        if j != len(filtered):
+            raise ValueError(
+                "filtered alerts are not an in-order subsequence of raw"
+            )
+        return cls(system, raw, kept_flags)
+
+    # -- scans -----------------------------------------------------------
+
+    def iter_alerts(self, kept: Optional[bool] = None,
+                    categories=None) -> Iterator[Alert]:
+        wanted = None if categories is None else set(categories)
+        for alert, is_kept in zip(self._alerts, self._kept):
+            if kept is not None and is_kept != kept:
+                continue
+            if wanted is not None and alert.category not in wanted:
+                continue
+            yield alert
+
+    def category_timestamps(self, category: str,
+                            kept: Optional[bool] = None) -> "np.ndarray":
+        return np.asarray(
+            [a.timestamp for a in self.iter_alerts(kept=kept,
+                                                   categories=(category,))],
+            dtype=np.float64,
+        )
+
+    def timestamps(self, kept: Optional[bool] = None) -> "np.ndarray":
+        return np.asarray(
+            [a.timestamp for a in self.iter_alerts(kept=kept)],
+            dtype=np.float64,
+        )
+
+    # -- aggregates ------------------------------------------------------
+
+    def count(self, kept: Optional[bool] = None, categories=None) -> int:
+        return sum(1 for _ in self.iter_alerts(kept=kept, categories=categories))
+
+    def count_by_category(self, categories=None) -> Dict[str, Tuple[int, int]]:
+        counts: Dict[str, Tuple[int, int]] = {}
+        wanted = None if categories is None else set(categories)
+        for alert, is_kept in zip(self._alerts, self._kept):
+            if wanted is not None and alert.category not in wanted:
+                continue
+            raw, kept = counts.get(alert.category, (0, 0))
+            counts[alert.category] = (raw + 1, kept + (1 if is_kept else 0))
+        return counts
+
+    def count_by_type(self) -> Dict[AlertType, Tuple[int, int]]:
+        counts: Dict[AlertType, Tuple[int, int]] = {}
+        for alert, is_kept in zip(self._alerts, self._kept):
+            raw, kept = counts.get(alert.alert_type, (0, 0))
+            counts[alert.alert_type] = (raw + 1, kept + (1 if is_kept else 0))
+        return counts
+
+    def categories(self, kept: Optional[bool] = None) -> set:
+        return {a.category for a in self.iter_alerts(kept=kept)}
+
+    def time_bounds(self, kept: Optional[bool] = None,
+                    categories=None) -> Optional[Tuple[float, float]]:
+        lo = np.inf
+        hi = -np.inf
+        empty = True
+        for alert in self.iter_alerts(kept=kept, categories=categories):
+            empty = False
+            if alert.timestamp < lo:
+                lo = alert.timestamp
+            if alert.timestamp > hi:
+                hi = alert.timestamp
+        if empty:
+            return None
+        return float(lo), float(hi)
+
+    def category_alert_type(self, category: str) -> Optional[AlertType]:
+        for alert in self._alerts:
+            if alert.category == category:
+                return alert.alert_type
+        return None

@@ -1,0 +1,120 @@
+"""Property tests: for *any* alert stream and *any* commit/crash point,
+the spilled store answers exactly like the in-memory one."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.categories import AlertType  # noqa: E402
+from repro.store import (  # noqa: E402
+    ColumnarStore,
+    ColumnarStoreWriter,
+    MemoryAlertStore,
+)
+
+from ..conftest import make_alert  # noqa: E402
+
+CATEGORIES = ("ECC", "DISK", "NET", "R/MON", "weird cat")
+
+
+def _type_for(category: str) -> AlertType:
+    return (
+        AlertType.HARDWARE if category in ("ECC", "DISK")
+        else AlertType.INDETERMINATE
+    )
+
+
+# One stream element: (gap to previous alert, category index, source
+# index, kept).  Gaps up to ~2h force hour-partition boundaries; zero
+# gaps exercise syslog's one-second timestamp collisions.
+elements = st.tuples(
+    st.floats(min_value=0.0, max_value=7200.0,
+              allow_nan=False, allow_infinity=False),
+    st.integers(min_value=0, max_value=len(CATEGORIES) - 1),
+    st.integers(min_value=0, max_value=3),
+    st.booleans(),
+)
+
+
+def build_stream(raw):
+    alerts, flags, t = [], [], 0.0
+    for gap, cat_idx, src_idx, kept in raw:
+        t += gap
+        category = CATEGORIES[cat_idx]
+        alerts.append(make_alert(
+            t, source=f"node-{src_idx}", category=category,
+            alert_type=_type_for(category),
+        ))
+        flags.append(kept)
+    return alerts, flags
+
+
+def assert_stores_agree(disk, mem, alerts, flags):
+    assert disk.count() == mem.count()
+    assert disk.count(kept=True) == mem.count(kept=True)
+    assert disk.count_by_category() == mem.count_by_category()
+    assert disk.count_by_type() == mem.count_by_type()
+    assert disk.categories() == mem.categories()
+    assert disk.categories(kept=True) == mem.categories(kept=True)
+    assert disk.time_bounds() == mem.time_bounds()
+    assert disk.time_bounds(kept=True) == mem.time_bounds(kept=True)
+    assert list(disk.iter_alerts()) == alerts
+    assert list(disk.iter_alerts(kept=True)) == [
+        a for a, k in zip(alerts, flags) if k
+    ]
+    assert not disk.degraded
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(raw=st.lists(elements, max_size=120))
+def test_any_stream_roundtrips(tmp_path_factory, raw):
+    alerts, flags = build_stream(raw)
+    root = str(tmp_path_factory.mktemp("prop") / "s")
+    writer = ColumnarStoreWriter(root, "test", page_rows=8,
+                                 autoflush_rows=32)
+    writer.begin(0)
+    writer.append_batch(list(zip(alerts, flags)))
+    writer.finalize()
+    assert_stores_agree(ColumnarStore(root), MemoryAlertStore(
+        "test", alerts, flags), alerts, flags)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    raw=st.lists(elements, min_size=2, max_size=100),
+    data=st.data(),
+)
+def test_any_barrier_resume_is_exact(tmp_path_factory, raw, data):
+    """Commit at an arbitrary point, 'crash' with arbitrary uncommitted
+    rows, resume from the barrier: the final store equals a straight
+    write of the whole stream."""
+    alerts, flags = build_stream(raw)
+    barrier = data.draw(
+        st.integers(min_value=0, max_value=len(alerts)), label="barrier"
+    )
+    crashed_extra = data.draw(
+        st.integers(min_value=0, max_value=len(alerts) - barrier),
+        label="uncommitted",
+    )
+    root = str(tmp_path_factory.mktemp("prop") / "s")
+    pairs = list(zip(alerts, flags))
+
+    writer = ColumnarStoreWriter(root, "test", page_rows=8)
+    writer.begin(0)
+    writer.append_batch(pairs[:barrier])
+    assert writer.commit() == barrier
+    # Lost to the crash: appended but never committed.
+    writer.append_batch(pairs[barrier:barrier + crashed_extra])
+
+    resumed = ColumnarStoreWriter(root, "test", page_rows=8)
+    assert resumed.begin(barrier) == barrier
+    resumed.append_batch(pairs[barrier:])
+    resumed.finalize()
+
+    assert_stores_agree(ColumnarStore(root), MemoryAlertStore(
+        "test", alerts, flags), alerts, flags)

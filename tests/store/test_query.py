@@ -1,0 +1,116 @@
+"""The incremental query API: predicate pushdown, chunked scans, and the
+``Sequence`` view that keeps ``PipelineResult.alerts`` working."""
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    AlertQuery,
+    ColumnarStore,
+    MemoryAlertStore,
+    StoredAlertSequence,
+)
+
+from .test_columnar import stream, write_store
+
+
+@pytest.fixture(scope="module", params=["columnar", "memory"])
+def store(request, tmp_path_factory):
+    alerts, flags = stream(n=240)
+    if request.param == "columnar":
+        root = str(tmp_path_factory.mktemp("q") / "s")
+        write_store(root, alerts, flags, commits=(77,))
+        return ColumnarStore(root), alerts, flags
+    return MemoryAlertStore("test", alerts, flags), alerts, flags
+
+
+class TestAlertQuery:
+    def test_aggregates_match_brute_force(self, store):
+        backend, alerts, flags = store
+        query = AlertQuery(backend)
+        kept = [a for a, k in zip(alerts, flags) if k]
+        assert query.count() == len(alerts)
+        assert query.filtered().count() == len(kept)
+        assert query.count_by_category() == {
+            c: (sum(a.category == c for a in alerts),
+                sum(a.category == c for a in kept))
+            for c in {a.category for a in alerts}
+        }
+        assert query.time_bounds() == (alerts[0].timestamp,
+                                       alerts[-1].timestamp)
+
+    def test_where_narrowing(self, store):
+        backend, alerts, _flags = store
+        query = AlertQuery(backend).where("DISK")
+        expected = [a for a in alerts if a.category == "DISK"]
+        assert list(query) == expected
+        assert query.count() == len(expected)
+        assert query.categories() == {"DISK"}
+        with_two = AlertQuery(backend).where("DISK", "NET")
+        assert with_two.count() == sum(
+            a.category in ("DISK", "NET") for a in alerts
+        )
+
+    def test_timestamps_column_scan(self, store):
+        backend, alerts, flags = store
+        query = AlertQuery(backend)
+        assert np.array_equal(
+            query.timestamps(),
+            np.asarray([a.timestamp for a in alerts]),
+        )
+        assert np.array_equal(
+            query.filtered().timestamps(),
+            np.asarray([a.timestamp
+                        for a, k in zip(alerts, flags) if k]),
+        )
+        assert np.array_equal(
+            query.category_timestamps("NET"),
+            np.asarray([a.timestamp for a in alerts
+                        if a.category == "NET"]),
+        )
+
+    def test_chunks_partition_the_scan(self, store):
+        backend, alerts, _flags = store
+        chunks = list(AlertQuery(backend).chunks(size=64))
+        assert all(len(c.timestamps) <= 64 for c in chunks)
+        assert sum(len(c.timestamps) for c in chunks) == len(alerts)
+        flat_ts = np.concatenate([c.timestamps for c in chunks])
+        assert np.array_equal(
+            flat_ts, np.asarray([a.timestamp for a in alerts])
+        )
+        flat_cats = [cat for c in chunks for cat in c.categories]
+        assert flat_cats == [a.category for a in alerts]
+
+    def test_iteration_reconstructs_equal_alerts(self, store):
+        backend, alerts, flags = store
+        assert list(AlertQuery(backend)) == alerts
+        assert list(AlertQuery(backend).filtered()) == [
+            a for a, k in zip(alerts, flags) if k
+        ]
+
+
+class TestStoredAlertSequence:
+    def test_sequence_protocol(self, store):
+        backend, alerts, _flags = store
+        view = StoredAlertSequence(backend)
+        assert len(view) == len(alerts)
+        assert bool(view)
+        assert view[0] == alerts[0]
+        assert view[-1] == alerts[-1]
+        assert view[3:6] == alerts[3:6]
+        with pytest.raises(IndexError):
+            view[len(alerts)]
+
+    def test_equality_against_lists(self, store):
+        backend, alerts, flags = store
+        view = StoredAlertSequence(backend)
+        assert view == alerts
+        assert alerts == list(view)
+        assert view != alerts[:-1]
+        kept_view = StoredAlertSequence(backend, kept=True)
+        assert kept_view == [a for a, k in zip(alerts, flags) if k]
+
+    def test_query_escape_hatch(self, store):
+        backend, alerts, _flags = store
+        view = StoredAlertSequence(backend)
+        assert view.query.count() == len(alerts)
